@@ -1,0 +1,59 @@
+"""Benchmark harness configuration.
+
+Every figure/table of the paper has one benchmark module.  Two modes:
+
+* default (CI-friendly): reduced scales and repetitions — minutes, and
+  still enough to check the qualitative shape assertions;
+* ``REPRO_FULL=1``: the paper's scales (BT-49/53 machines, 5–6 reps) —
+  regenerates the numbers recorded in EXPERIMENTS.md.
+
+The simulated experiment is deterministic, so benchmark timings here
+measure *simulator* performance; the scientific output is the rendered
+table, attached to each benchmark via ``extra_info`` and printed with
+``-s``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+#: reduced-mode knobs: a 16-rank BT with a shorter run.  The footprint
+#: (and hence checkpoint-wave duration, the quantity that shapes every
+#: figure) stays at its class-B value — only compute shrinks.
+QUICK_WORKLOAD = dict(niters=40, total_compute=2400.0)
+
+
+@pytest.fixture(scope="session")
+def mode():
+    return "full" if FULL else "quick"
+
+
+def figure_kwargs():
+    """Workload kwargs for experiment drivers per mode."""
+    return {} if FULL else dict(QUICK_WORKLOAD)
+
+
+def reps(full_reps):
+    return full_reps if FULL else 2
+
+
+def scales(full_scales, quick_scales):
+    return full_scales if FULL else quick_scales
+
+
+def attach(benchmark, result):
+    """Record the rendered experiment table on the benchmark record."""
+    benchmark.extra_info["table"] = result.render()
+    for row in result.rows:
+        benchmark.extra_info[row.label] = {
+            "pct_terminated": row.pct_terminated,
+            "pct_non_terminating": row.pct_non_terminating,
+            "pct_buggy": row.pct_buggy,
+            "mean_exec_time": row.mean_exec_time,
+        }
+    print()
+    print(result.render())

@@ -1,0 +1,43 @@
+"""Benchmark for the Vcl-vs-V2 protocol comparison (the §6 use case)."""
+
+import pytest
+
+from benchmarks.conftest import FULL, attach, figure_kwargs, reps
+from repro.experiments import compare_protocols as cp
+
+
+@pytest.mark.benchmark(group="compare")
+def test_protocol_comparison(benchmark):
+    if FULL:
+        kwargs = dict(n_procs=cp.N_PROCS, n_machines=cp.N_MACHINES,
+                      periods=cp.PERIODS)
+        n_reps = reps(cp.REPS)
+    else:
+        kwargs = dict(n_procs=16, n_machines=20, periods=(None, 50, 40),
+                      **figure_kwargs())
+        n_reps = 2
+
+    result = benchmark.pedantic(
+        lambda: cp.run_experiment(reps=n_reps, **kwargs),
+        rounds=1, iterations=1)
+    attach(benchmark, result)
+    print()
+    print(cp.crossover_summary(result, periods=kwargs["periods"]))
+
+    # Shape assertions ([LBH+04] via our substrate):
+    # (1) fault-free, coordinated checkpointing is at least as fast as
+    #     pessimistic logging;
+    t_vcl0 = result.row("vcl no faults").mean_exec_time
+    t_v20 = result.row("v2 no faults").mean_exec_time
+    assert t_vcl0 <= t_v20 * 1.02
+    # (2) at high fault frequency, message logging wins decisively;
+    fastest_period = kwargs["periods"][-1]
+    vcl_hi = result.row(f"vcl 1/{fastest_period}s")
+    v2_hi = result.row(f"v2 1/{fastest_period}s")
+    assert v2_hi.pct_terminated == 100.0
+    if vcl_hi.mean_exec_time is not None:
+        assert v2_hi.mean_exec_time < vcl_hi.mean_exec_time
+    # (3) V2 never goes buggy here (no Vcl dispatcher restart waves).
+    for row in result.rows:
+        if row.label.startswith("v2"):
+            assert row.pct_buggy == 0.0

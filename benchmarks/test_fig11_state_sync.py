@@ -1,0 +1,37 @@
+"""Benchmark regenerating Fig. 11 — state-synchronized faults."""
+
+import pytest
+
+from benchmarks.conftest import FULL, attach, figure_kwargs, reps, scales
+from repro.experiments import fig11_state_sync as fig11
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_state_sync(benchmark):
+    use_scales = scales(fig11.SCALES, (9, 16))
+    n_reps = reps(fig11.REPS)
+    result = benchmark.pedantic(
+        lambda: fig11.run_experiment(reps=n_reps, scales=use_scales,
+                                     include_baseline=False,
+                                     **figure_kwargs()),
+        rounds=1, iterations=1)
+    attach(benchmark, result)
+
+    # The paper's headline: EVERY experiment freezes, at EVERY scale —
+    # the scenario that pinpointed the dispatcher bug.
+    for row in result.rows:
+        assert row.pct_buggy == 100.0, row.label
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_bugfix_ablation(benchmark):
+    """The fix flips Fig. 11 from 100% buggy to 100% terminated."""
+    use_scales = scales((25, 49), (9, 16))
+    result = benchmark.pedantic(
+        lambda: fig11.run_experiment(reps=3, scales=use_scales,
+                                     include_baseline=False, bug_compat=False,
+                                     **figure_kwargs()),
+        rounds=1, iterations=1)
+    attach(benchmark, result)
+    for row in result.rows:
+        assert row.pct_terminated == 100.0, row.label

@@ -1,0 +1,32 @@
+"""Benchmark regenerating Fig. 6 — impact of scale."""
+
+import pytest
+
+from benchmarks.conftest import FULL, attach, figure_kwargs, reps, scales
+from repro.experiments import fig6_scale as fig6
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_scale(benchmark):
+    use_scales = scales(fig6.SCALES, (9, 16, 25))
+    result = benchmark.pedantic(
+        lambda: fig6.run_experiment(reps=reps(fig6.REPS), scales=use_scales,
+                                    **figure_kwargs()),
+        rounds=1, iterations=1)
+    attach(benchmark, result)
+
+    # Shape assertions from the paper:
+    # (1) no-fault execution time decreases with scale;
+    nofault = [result.row(f"BT {s} no faults").mean_exec_time
+               for s in use_scales]
+    assert all(t is not None for t in nofault)
+    assert all(a > b for a, b in zip(nofault, nofault[1:]))
+    # (2) faults never make a scale *faster* than its no-fault time;
+    for s in use_scales:
+        faulty = result.row(f"BT {s} 1/{fig6.FAULT_PERIOD}s")
+        if faulty.mean_exec_time is not None:
+            assert faulty.mean_exec_time > \
+                result.row(f"BT {s} no faults").mean_exec_time
+    # (3) no buggy runs (single faults only).
+    for row in result.rows:
+        assert row.pct_buggy == 0.0, row.label

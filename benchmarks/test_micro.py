@@ -1,0 +1,111 @@
+"""Micro-benchmarks of the simulator itself.
+
+These are honest pytest-benchmark targets (many fast rounds): kernel
+event throughput, network message relay rate, FAIL parsing and a
+fault-free BT run.  They guard against performance regressions that
+would make the figure benchmarks impractically slow.
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.fail import builtin_scenarios as scenarios
+from repro.fail.lang.parser import parse_fail
+from repro.mpichv.config import VclConfig
+from repro.mpichv.runtime import VclRuntime
+from repro.simkernel.engine import Engine
+from repro.simkernel.store import Store, StoreClosed
+from repro.workloads.nas_bt import BTWorkload
+
+
+@pytest.mark.benchmark(group="micro")
+def test_engine_event_throughput(benchmark):
+    def run():
+        eng = Engine(seed=0)
+
+        def ticker():
+            for _ in range(2000):
+                yield eng.timeout(1.0)
+
+        eng.process(ticker())
+        eng.run()
+        return eng.events_processed
+
+    events = benchmark(run)
+    assert events >= 2000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_store_put_get_throughput(benchmark):
+    def run():
+        eng = Engine(seed=0)
+        store = Store(eng)
+        got = []
+
+        def consumer():
+            while True:
+                try:
+                    got.append((yield store.get()))
+                except StoreClosed:
+                    return
+
+        eng.process(consumer())
+        for i in range(1000):
+            eng.call_later(0.001 * i, lambda i=i: store.put(i))
+        eng.call_later(2.0, store.close)
+        eng.run()
+        return len(got)
+
+    assert benchmark(run) == 1000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_network_message_relay(benchmark):
+    def run():
+        eng = Engine(seed=0)
+        clu = Cluster(eng, 2)
+        done = []
+
+        def server(proc):
+            ls = proc.node.listen(5000, owner=proc)
+            sock = yield ls.accept()
+            count = 0
+            while count < 500:
+                yield sock.recv()
+                count += 1
+            done.append(count)
+
+        def client(proc):
+            sock = yield proc.node.connect(clu.node(0).addr(5000), owner=proc)
+            for i in range(500):
+                sock.send(i, size=1024)
+            yield eng.timeout(10.0)
+
+        clu.node(0).spawn("server", server)
+        clu.node(1).spawn("client", client)
+        eng.run(until=60.0)
+        return done[0]
+
+    assert benchmark(run) == 500
+
+
+@pytest.mark.benchmark(group="micro")
+def test_fail_parse_throughput(benchmark):
+    source = (scenarios.FIG7A_MASTER + scenarios.FIG8B_NODE_DAEMON
+              + scenarios.FIG10B_NODE_DAEMON)
+
+    prog = benchmark(parse_fail, source)
+    assert len(prog.daemons) == 3
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bt_fault_free_run(benchmark):
+    def run():
+        config = VclConfig(n_procs=9, n_machines=12, footprint=2e8)
+        wl = BTWorkload(n_procs=9, niters=20, total_compute=360.0,
+                        footprint=2e8)
+        rt = VclRuntime(config, wl.make_factory(), seed=0)
+        return rt.run()
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert res.outcome.value == "terminated"

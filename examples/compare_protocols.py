@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Compare two fault-tolerance protocols under identical fault scenarios.
+
+The paper's conclusion proposes exactly this workflow: use FAIL-MPI to
+"evaluate many different implementations at large scales and compare
+them fairly under the same failure scenarios."  Here the two
+implementations are:
+
+* **Vcl** — the paper's non-blocking coordinated Chandy-Lamport
+  checkpointing: every failure rolls the whole application back;
+* **V2**  — pessimistic sender-based message logging with independent
+  checkpoints: only the failed rank restarts and replays.
+
+Both run the same BT workload, the same Fig. 5a fault scenario, the
+same seeds.
+
+Run:  python examples/compare_protocols.py [--full]
+"""
+
+import argparse
+
+from repro.experiments import compare_protocols as cp
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper scale: BT-49 on 53 machines")
+    args = parser.parse_args()
+
+    if args.full:
+        result = cp.run_experiment(reps=3)
+        periods = cp.PERIODS
+    else:
+        periods = (None, 50, 40)
+        result = cp.run_experiment(reps=2, periods=periods,
+                                   n_procs=16, n_machines=20,
+                                   niters=40, total_compute=2400.0)
+
+    print(result.render())
+    print()
+    print(cp.crossover_summary(result, periods=periods))
+    print()
+    print("Reading the shape (cf. [LBH+04], cited by the paper):")
+    print(" * fault-free, coordinated checkpointing is the cheaper")
+    print("   protocol — pessimistic logging pays a stable-logger round")
+    print("   trip on every message;")
+    print(" * as faults come faster the ordering flips: a Vcl failure")
+    print("   discards everyone's work back to the last committed wave,")
+    print("   a V2 failure replays one rank while survivors wait in")
+    print("   place — at 40 s periods Vcl stops progressing entirely")
+    print("   while V2 still finishes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Fault-frequency sweep (the Fig. 5 experiment) with a live ASCII plot.
+
+Sweeps the fault injection period over BT and renders execution time
+plus non-termination bars — the same presentation as the paper's
+Fig. 5(b).  Reduced scale by default; pass --full for BT-49/53.
+
+Run:  python examples/frequency_sweep.py [--full]
+"""
+
+import argparse
+
+from repro.experiments import fig5_frequency
+
+
+def ascii_plot(result, width=46):
+    """Bars for %non-terminating / %buggy, dots for exec time."""
+    times = [row.mean_exec_time for row in result.rows
+             if row.mean_exec_time is not None]
+    t_max = max(times) if times else 1.0
+    lines = []
+    for row in result.rows:
+        t = row.mean_exec_time
+        dots = int(width * (t / t_max)) if t is not None else 0
+        time_bar = "·" * dots
+        nt = int(width * row.pct_non_terminating / 100.0)
+        bug = int(width * row.pct_buggy / 100.0)
+        label = f"{row.label:>14}"
+        t_text = f"{t:7.1f}s" if t is not None else "   ---  "
+        lines.append(f"{label} | time {t_text} {time_bar}")
+        if nt or bug:
+            lines.append(f"{'':>14} | stall {row.pct_non_terminating:4.0f}% "
+                         f"{'█' * nt}{'▓' * bug}")
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper scale: BT-49 on 53 machines, 6 reps")
+    parser.add_argument("--reps", type=int, default=None)
+    args = parser.parse_args()
+
+    if args.full:
+        result = fig5_frequency.run_experiment(reps=args.reps or 6)
+    else:
+        result = fig5_frequency.run_experiment(
+            reps=args.reps or 3, n_procs=16, n_machines=20,
+            periods=(None, 65, 60, 55, 50, 45, 40),
+            niters=40, total_compute=2400.0)
+
+    print(result.render())
+    print()
+    print(ascii_plot(result))
+    print()
+    print("Reading the shape (cf. paper §5.1): execution time grows as")
+    print("faults come faster; once the inter-fault gap undercuts the")
+    print("time to complete a checkpoint wave, runs stop progressing")
+    print("(the stall bars) — and no run is ever buggy, because single")
+    print("faults never overlap a recovery.")
+
+
+if __name__ == "__main__":
+    main()

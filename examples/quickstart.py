@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: run an MPI application under MPICH-Vcl and inject one
+fault with a three-line FAIL scenario.
+
+What happens:
+
+1. a 4-rank token-ring MPI application is deployed under the
+   fault-tolerant MPICH-Vcl runtime (dispatcher, checkpoint scheduler,
+   checkpoint servers, one communication daemon per rank);
+2. a FAIL scenario kills one random MPI node 35 seconds in — after the
+   first 30-second checkpoint wave committed;
+3. the dispatcher detects the closure, rolls every rank back to the
+   committed wave, replays the channel state, and the ring finishes
+   with its token arithmetic intact.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.fail.scenario import Binding, deploy_scenario
+from repro.mpichv.config import VclConfig
+from repro.mpichv.runtime import VclRuntime
+from repro.workloads.ring import RingWorkload
+
+SCENARIO = """
+Daemon Master {
+  node 1:
+    always int ran = FAIL_RANDOM(0, N);
+    time g_timer = 35;
+    timer -> !crash(G1[ran]), goto 2;
+  node 2:
+    always int ran = FAIL_RANDOM(0, N);
+    ?no -> !crash(G1[ran]), goto 2;
+    ?ok -> goto 3;
+  node 3:
+}
+
+Daemon NodeCtl {
+  node 1:
+    onload -> continue, goto 2;
+    ?crash -> !no(Master), goto 1;
+  node 2:
+    onexit -> goto 1;
+    onerror -> goto 1;
+    onload -> continue, goto 2;
+    ?crash -> !ok(Master), halt, goto 1;
+}
+"""
+
+
+def main():
+    config = VclConfig(n_procs=4, n_machines=6, footprint=4e7)
+    workload = RingWorkload(n_procs=4, rounds=40, work_per_hop=1.0)
+    runtime = VclRuntime(config, workload.make_factory(), seed=2024)
+
+    deploy_scenario(
+        runtime, SCENARIO,
+        params={"N": config.n_machines - 1},
+        bindings={
+            "Master": Binding(daemon="Master", nodes=None),
+            "G1": Binding(daemon="NodeCtl", nodes=list(runtime.machines)),
+        })
+
+    result = runtime.run(timeout=600.0)
+
+    print(f"outcome:            {result.outcome}")
+    print(f"execution time:     {result.exec_time:.1f} s (simulated)")
+    print(f"failures injected:  {result.failures_detected}")
+    print(f"restart waves:      {result.restarts}")
+    print(f"checkpoints taken:  {result.waves_committed} committed waves")
+    print()
+    print("key trace events:")
+    for rec in result.trace.records:
+        if rec.kind in ("ckpt_wave_complete", "fault_injected",
+                        "failure_detected", "restart_wave",
+                        "recovery_complete", "app_done"):
+            print(f"  {rec}")
+    assert result.outcome.value == "terminated"
+    print()
+    print("the ring verified its token arithmetic across the rollback — "
+          "no message was lost or duplicated.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper at full scale.
+
+Writes the rendered tables to stdout (tee it into a file).  This is
+what EXPERIMENTS.md records; expect ~30-45 minutes of wall time.
+"""
+
+import time
+
+from repro.experiments import (fig5_frequency, fig6_scale, fig7_simultaneous,
+                               fig9_synchronized, fig11_state_sync,
+                               table1_tools)
+from repro.experiments.fig6_scale import variance_by_scale
+
+
+def banner(text):
+    print()
+    print("#" * 72)
+    print("#", text)
+    print("#" * 72, flush=True)
+
+
+def timed(fn, *args, **kwargs):
+    t0 = time.time()
+    result = fn(*args, **kwargs)
+    print(result.render())
+    print(f"[wall time: {time.time() - t0:.0f}s]", flush=True)
+    return result
+
+
+def main():
+    banner("Table §2.1 — tool comparison")
+    print(table1_tools.render(), flush=True)
+
+    banner("Fig. 5 — impact of fault frequency (BT-49, 53 machines, 6 reps)")
+    timed(fig5_frequency.run_experiment)
+
+    banner("Fig. 6 — impact of scale (1 fault / 50 s, 5 reps)")
+    r6 = timed(fig6_scale.run_experiment)
+    print("faulty-run stdev by scale (the paper's variance argument):")
+    for scale, sd in variance_by_scale(r6):
+        print(f"  BT {scale}: stdev = {sd if sd is None else round(sd, 1)}")
+
+    banner("Fig. 7 — impact of simultaneous faults (BT-49, 6 reps)")
+    timed(fig7_simultaneous.run_experiment)
+
+    banner("Fig. 7 ablation — same scenario, dispatcher bug FIXED")
+    timed(fig7_simultaneous.run_experiment, reps=3, batches=(5,),
+          bug_compat=False)
+
+    banner("Fig. 9 — synchronized faults (2 faults, onload-timed, 6 reps)")
+    timed(fig9_synchronized.run_experiment)
+
+    banner("Fig. 9 ablation — dispatcher bug FIXED")
+    timed(fig9_synchronized.run_experiment, reps=3, include_baseline=False,
+          bug_compat=False)
+
+    banner("Fig. 11 — state-synchronized faults (breakpoint, 6 reps)")
+    timed(fig11_state_sync.run_experiment)
+
+    banner("Fig. 11 ablation — dispatcher bug FIXED")
+    timed(fig11_state_sync.run_experiment, reps=3, include_baseline=False,
+          bug_compat=False)
+
+
+if __name__ == "__main__":
+    main()

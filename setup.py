@@ -1,0 +1,19 @@
+"""Classic setup shim.
+
+The evaluation environment has setuptools but no ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build; use
+``python setup.py develop`` (what our Makefile/README recommend) — it
+produces an egg-link editable install with no wheel dependency.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Reproduction of FAIL-MPI: fault injection for "
+                 "fault-tolerant MPI (Herault et al., CLUSTER 2006)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

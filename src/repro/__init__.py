@@ -1,0 +1,20 @@
+"""repro — a full reproduction of "FAIL-MPI: How fault-tolerant is
+fault-tolerant MPI?" (Hérault et al., CLUSTER 2006).
+
+Layers (bottom-up):
+
+* :mod:`repro.simkernel` — deterministic discrete-event kernel;
+* :mod:`repro.cluster` — simulated nodes, unix processes, TCP network;
+* :mod:`repro.mpi` — a mini-MPI over the cluster substrate;
+* :mod:`repro.mpichv` — the MPICH-Vcl fault-tolerant runtime
+  (non-blocking Chandy-Lamport, dispatcher, checkpoint servers);
+* :mod:`repro.fail` — the FAIL language and the FAIL-MPI injection
+  platform (the paper's contribution);
+* :mod:`repro.workloads` — NAS-BT-like benchmark and demo apps;
+* :mod:`repro.experiments` — per-figure drivers and the run harness;
+* :mod:`repro.analysis` — traces, outcome classification, statistics.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

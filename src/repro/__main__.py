@@ -1,0 +1,53 @@
+"""Command-line entry point: ``python -m repro <experiment> [...]``.
+
+Dispatches to the per-figure experiment drivers; each accepts its own
+flags (``--reps``, ``--procs``, ``--fixed``, …).
+"""
+
+from __future__ import annotations
+
+import sys
+
+COMMANDS = {
+    "fig5": ("repro.experiments.fig5_frequency", "impact of fault frequency"),
+    "fig6": ("repro.experiments.fig6_scale", "impact of scale"),
+    "fig7": ("repro.experiments.fig7_simultaneous", "simultaneous faults"),
+    "fig9": ("repro.experiments.fig9_synchronized", "synchronized faults"),
+    "fig11": ("repro.experiments.fig11_state_sync",
+              "state-synchronized faults"),
+    "table1": ("repro.experiments.table1_tools", "tool comparison table"),
+    "compare": ("repro.experiments.compare_protocols",
+                "Vcl vs V2 under identical scenarios"),
+}
+
+
+def usage() -> str:
+    lines = ["usage: python -m repro <command> [options]", "", "commands:"]
+    for name, (_module, blurb) in COMMANDS.items():
+        lines.append(f"  {name:<8} {blurb}")
+    lines.append("")
+    lines.append("pass --help after a command for its options")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(usage())
+        return 0
+    command = argv.pop(0)
+    entry = COMMANDS.get(command)
+    if entry is None:
+        print(f"unknown command {command!r}\n", file=sys.stderr)
+        print(usage(), file=sys.stderr)
+        return 2
+    module_name, _blurb = entry
+    import importlib
+    module = importlib.import_module(module_name)
+    sys.argv = [f"repro {command}"] + argv
+    module.main()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,254 @@
+"""A TCP-like network model.
+
+Characteristics modelled (and why):
+
+* **per-connection FIFO** with delivery time
+  ``max(prev_arrival, now + latency + size/bandwidth)`` — messages on a
+  connection never reorder, and large transfers (checkpoint images)
+  take size-proportional time, which drives the paper's Fig. 6
+  observation about 25-node checkpoints being slower;
+* **closure notification** — closing either end (explicitly or because
+  the owning process was killed) closes the peer's receive stream after
+  one latency, so a blocked ``recv`` fails with
+  :class:`ConnectionClosed`.  This is exactly the failure-detection
+  channel MPICH-V's dispatcher uses ("a failure is assumed after any
+  unexpected socket closure");
+* **connection refusal** when nothing listens on the target address.
+
+No packet loss or partitions: the paper's experiments kill whole tasks,
+never the network, so link failures are out of scope (documented
+substitution).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, NamedTuple, Optional
+
+from repro.simkernel.engine import Engine
+from repro.simkernel.events import Event
+from repro.simkernel.store import Store, StoreClosed
+
+
+class Address(NamedTuple):
+    """A (host, port) endpoint address."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetics
+        return f"{self.host}:{self.port}"
+
+
+class ConnectionClosed(Exception):
+    """The peer endpoint closed (or its process died)."""
+
+
+class ConnectionRefused(Exception):
+    """No listener at the target address."""
+
+
+DEFAULT_LATENCY = 1e-4          # 100 us — GigE-ish
+DEFAULT_BANDWIDTH = 100e6       # 100 MB/s effective GigE payload rate
+DEFAULT_MSG_SIZE = 1024         # bytes, when a message has no size hint
+
+
+def _msg_size(msg: Any, size: Optional[int]) -> int:
+    if size is not None:
+        return size
+    hinted = getattr(msg, "size", None)
+    if isinstance(hinted, (int, float)) and hinted >= 0:
+        return int(hinted)
+    return DEFAULT_MSG_SIZE
+
+
+class Network:
+    """The fabric connecting all nodes of the simulated cluster."""
+
+    def __init__(self, engine: Engine,
+                 latency: float = DEFAULT_LATENCY,
+                 bandwidth: float = DEFAULT_BANDWIDTH):
+        if latency < 0 or bandwidth <= 0:
+            raise ValueError("latency must be >=0 and bandwidth >0")
+        self.engine = engine
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self._listeners: Dict[Address, "ListenSocket"] = {}
+        #: monotone id source for connections (stable trace labels)
+        self._next_conn_id = 1
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    # -- listening -----------------------------------------------------------
+    def listen(self, addr: Address, owner=None) -> "ListenSocket":
+        """Bind a listening socket at ``addr``."""
+        if addr in self._listeners:
+            raise OSError(f"address {addr} already in use")
+        ls = ListenSocket(self, addr, owner=owner)
+        self._listeners[addr] = ls
+        if owner is not None:
+            owner.adopt_socket(ls)
+        return ls
+
+    def _unbind(self, addr: Address) -> None:
+        self._listeners.pop(addr, None)
+
+    # -- connecting -----------------------------------------------------------
+    def connect(self, src_host: str, addr: Address, owner=None):
+        """Open a connection to ``addr``.
+
+        Returns an :class:`Event` which succeeds with the client
+        :class:`Socket` after one round trip, or fails with
+        :class:`ConnectionRefused`.
+        """
+        ev = self.engine.event(name=f"connect({addr})")
+        listener = self._listeners.get(addr)
+        if listener is None or listener.closed:
+            # Refusal still takes a round trip.
+            self.engine.call_later(
+                2 * self.latency,
+                lambda: ev.fail(ConnectionRefused(f"no listener at {addr}")))
+            return ev
+        conn_id = self._next_conn_id
+        self._next_conn_id += 1
+        client = Socket(self, conn_id, local_host=src_host, remote=addr, owner=owner)
+        server = Socket(self, conn_id, local_host=addr.host,
+                        remote=Address(src_host, -conn_id), owner=listener.owner)
+        client._peer = server
+        server._peer = client
+        if owner is not None:
+            owner.adopt_socket(client)
+        if listener.owner is not None:
+            listener.owner.adopt_socket(server)
+
+        def _deliver() -> None:
+            if listener.closed:
+                ev.fail(ConnectionRefused(f"listener at {addr} closed"))
+                return
+            listener._backlog.put(server)
+            ev.succeed(client)
+
+        self.engine.call_later(2 * self.latency, _deliver)
+        return ev
+
+    # -- transmission (socket-internal) -----------------------------------------
+    def _transmit(self, sock: "Socket", msg: Any, size: int) -> None:
+        peer = sock._peer
+        if peer is None or peer._rx.closed:
+            return  # packets to a dead endpoint vanish
+        self.bytes_sent += size
+        self.messages_sent += 1
+        arrival = max(sock._pipe_free, self.engine.now + self.latency + size / self.bandwidth)
+        sock._pipe_free = arrival
+
+        def _arrive() -> None:
+            if not peer._rx.closed:
+                peer._rx.put(msg)
+
+        self.engine.call_at(arrival, _arrive)
+
+    def _notify_close(self, sock: "Socket") -> None:
+        """Propagate a close to the peer after one latency."""
+        peer = sock._peer
+        if peer is None:
+            return
+        arrival = max(sock._pipe_free, self.engine.now + self.latency)
+
+        def _close_peer() -> None:
+            peer._rx.close()
+            peer._peer_closed = True
+
+        self.engine.call_at(arrival, _close_peer)
+
+
+class ListenSocket:
+    """A bound listening endpoint; ``accept()`` yields server sockets."""
+
+    def __init__(self, network: Network, addr: Address, owner=None):
+        self.network = network
+        self.addr = addr
+        self.owner = owner
+        self._backlog: Store = Store(network.engine, name=f"listen({addr})")
+        self.closed = False
+
+    def accept(self) -> Event:
+        """Event yielding the next incoming :class:`Socket`.
+
+        Fails with :class:`StoreClosed` if the listener closes while
+        waiting.
+        """
+        return self._backlog.get()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.network._unbind(self.addr)
+        # Refuse queued, never-accepted connections: close their peers.
+        while len(self._backlog):
+            srv = self._backlog.get_nowait()
+            srv.close()
+        self._backlog.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ListenSocket {self.addr} closed={self.closed}>"
+
+
+class Socket:
+    """One endpoint of an established connection."""
+
+    def __init__(self, network: Network, conn_id: int, local_host: str,
+                 remote: Address, owner=None):
+        self.network = network
+        self.conn_id = conn_id
+        self.local_host = local_host
+        self.remote = remote
+        self.owner = owner
+        self._rx: Store = Store(network.engine, name=f"sock#{conn_id}@{local_host}")
+        self._peer: Optional["Socket"] = None
+        self._pipe_free: float = 0.0  # next time the outgoing pipe is free
+        self.closed = False
+        self._peer_closed = False
+
+    # -- I/O ------------------------------------------------------------------
+    def send(self, msg: Any, size: Optional[int] = None) -> None:
+        """Queue ``msg`` for delivery (non-blocking, buffered)."""
+        if self.closed:
+            raise ConnectionClosed(f"send on closed socket #{self.conn_id}")
+        self.network._transmit(self, msg, _msg_size(msg, size))
+
+    def recv(self) -> Event:
+        """Event yielding the next message.
+
+        The event *fails* with :class:`ConnectionClosed` if the peer
+        closed (including peer-process death) — translate from the
+        store-level :class:`StoreClosed` at the waiting site via
+        :meth:`recv_translated` or catch ``StoreClosed`` directly.
+        """
+        return self._rx.get()
+
+    def recv_iter(self):
+        """Generator helper: ``msg = yield from sock.recv_iter()``
+        raising :class:`ConnectionClosed` on closure."""
+        try:
+            msg = yield self._rx.get()
+        except StoreClosed as err:
+            raise ConnectionClosed(str(err)) from err
+        return msg
+
+    def close(self) -> None:
+        """Close this endpoint; peer learns after one latency."""
+        if self.closed:
+            return
+        self.closed = True
+        self._rx.close()
+        if self.owner is not None:
+            self.owner.disown_socket(self)
+        self.network._notify_close(self)
+
+    @property
+    def peer_alive(self) -> bool:
+        return not self._peer_closed and not self._rx.closed
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Socket #{self.conn_id} {self.local_host}->{self.remote} "
+                f"closed={self.closed}>")

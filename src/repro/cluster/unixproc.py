@@ -1,0 +1,203 @@
+"""Simulated unix processes.
+
+A :class:`UnixProcess` groups one *main* simulated coroutine plus any
+helper threads, owns sockets (closed by the "OS" when the process
+dies), and exposes the control surface the FAIL debugger needs:
+
+* ``kill()``   — SIGKILL: all threads die instantly, sockets close;
+* ``suspend()``/``resume_all()`` — debugger stop/continue of every thread;
+* ``trace_point(name)`` — a cooperative breakpoint site; programs mark
+  protocol locations (e.g. ``localMPI_setCommand``) with
+  ``yield from proc.trace_point("localMPI_setCommand")`` and an armed
+  debugger can intercept there (see :mod:`repro.fail.debugger`).
+
+Exit notification: node-level listeners observe normal exits, error
+exits and kills — the events the FAIL language maps to ``onexit`` /
+``onerror`` (a kill is the *injected* death, handled separately by the
+injector itself).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.simkernel.process import Process
+
+
+class ProcState(enum.Enum):
+    RUNNING = "running"
+    SUSPENDED = "suspended"
+    EXITED = "exited"
+    ERRORED = "errored"
+    KILLED = "killed"
+
+    @property
+    def alive(self) -> bool:
+        return self in (ProcState.RUNNING, ProcState.SUSPENDED)
+
+
+class UnixProcess:
+    """A process on a :class:`~repro.cluster.node.Node`.
+
+    Parameters
+    ----------
+    node:
+        Hosting node.
+    name:
+        Program name (used by FAIL group matching and traces).
+    main:
+        Generator factory ``f(proc) -> generator`` for the main thread.
+    """
+
+    def __init__(self, node, name: str, main: Callable[["UnixProcess"], Generator],
+                 tags: Optional[Dict[str, Any]] = None):
+        self.node = node
+        self.engine = node.engine
+        self.name = name
+        self.tags: Dict[str, Any] = dict(tags or {})
+        self.pid = node.cluster.next_pid()
+        self.state = ProcState.RUNNING
+        self.exit_value: Any = None
+        self.exit_error: Optional[BaseException] = None
+        self._threads: List[Process] = []
+        self._sockets: List[Any] = []
+        self._exit_listeners: List[Callable[["UnixProcess", ProcState], None]] = []
+        #: breakpoint interceptors: name -> callable(proc, name, resume_event)
+        #: returning True if it took ownership of the pause (see trace_point)
+        self._bp_handlers: Dict[str, Callable] = {}
+        self.main_thread = self.spawn_thread(main(self), name=f"{name}.main", _main=True)
+
+    # -- threads -------------------------------------------------------------
+    def spawn_thread(self, gen: Generator, name: Optional[str] = None,
+                     _main: bool = False) -> Process:
+        """Run ``gen`` as an additional thread of this process."""
+        if not self.state.alive:
+            raise RuntimeError(f"spawn_thread on dead process {self}")
+        t = self.engine.process(gen, name=name or f"{self.name}.t{len(self._threads)}")
+        self._threads.append(t)
+        t.add_callback(lambda ev, main=_main: self._thread_done(ev, main))
+        if self.state is ProcState.SUSPENDED:
+            t.suspend()
+        return t
+
+    def _thread_done(self, ev, is_main: bool) -> None:
+        if not self.state.alive:
+            return
+        if not ev.ok:
+            # A crashing thread takes the whole process down (abort()).
+            self.exit_error = ev.exception
+            self._terminate(ProcState.ERRORED)
+        elif is_main:
+            self.exit_value = ev._value
+            self._terminate(ProcState.EXITED)
+
+    # -- sockets ---------------------------------------------------------------
+    def adopt_socket(self, sock) -> None:
+        self._sockets.append(sock)
+
+    def disown_socket(self, sock) -> None:
+        if sock in self._sockets:
+            self._sockets.remove(sock)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def kill(self) -> None:
+        """SIGKILL: immediate death, no user-space cleanup."""
+        if not self.state.alive:
+            return
+        self._terminate(ProcState.KILLED)
+
+    def exit(self, value: Any = None) -> None:
+        """Voluntary clean exit (callable from the process's own
+        threads): ends every thread, closes sockets, reports EXITED —
+        the event FAIL maps to ``onexit``."""
+        if not self.state.alive:
+            return
+        self.exit_value = value
+        self._terminate(ProcState.EXITED)
+
+    def abort(self) -> None:
+        """Voluntary abnormal exit — reported as ERRORED (FAIL
+        ``onerror``)."""
+        if not self.state.alive:
+            return
+        self._terminate(ProcState.ERRORED)
+
+    def _terminate(self, final: ProcState) -> None:
+        self.state = final
+        for t in self._threads:
+            if t.alive:
+                t.kill()
+        # The OS closes every fd the process held: peers see closure.
+        for sock in list(self._sockets):
+            sock.close()
+        self._sockets.clear()
+        self.node._proc_gone(self)
+        self.engine.log("proc_exit", pid=self.pid, name=self.name,
+                        node=self.node.name, how=final.value)
+        for listener in list(self._exit_listeners):
+            listener(self, final)
+
+    def on_exit(self, listener: Callable[["UnixProcess", ProcState], None]) -> None:
+        """Register an exit listener (FAIL onexit/onerror plumbing).
+
+        A listener registered on an already-dead process fires
+        immediately — subscribers (e.g. the dispatcher's ssh watch)
+        must not miss a death that happened in the same instant as the
+        spawn.
+        """
+        if not self.state.alive:
+            listener(self, self.state)
+            return
+        self._exit_listeners.append(listener)
+
+    # -- debugger surface ---------------------------------------------------------
+    def suspend(self) -> None:
+        """Debugger stop: freeze every thread."""
+        if self.state is ProcState.RUNNING:
+            self.state = ProcState.SUSPENDED
+            for t in self._threads:
+                if t.alive:
+                    t.suspend()
+
+    def resume_all(self) -> None:
+        """Debugger continue."""
+        if self.state is ProcState.SUSPENDED:
+            self.state = ProcState.RUNNING
+            for t in self._threads:
+                if t.alive:
+                    t.resume()
+
+    def set_breakpoint(self, fn_name: str, handler: Callable) -> None:
+        """Arm a breakpoint at trace point ``fn_name``.
+
+        ``handler(proc, fn_name, resume_event)`` runs (asynchronously,
+        at the same instant) when a thread reaches the trace point; the
+        thread stays blocked until ``resume_event`` succeeds or the
+        process dies.
+        """
+        self._bp_handlers[fn_name] = handler
+
+    def clear_breakpoint(self, fn_name: str) -> None:
+        self._bp_handlers.pop(fn_name, None)
+
+    def trace_point(self, fn_name: str):
+        """Cooperative breakpoint site; use ``yield from``.
+
+        Fast path (no breakpoint armed) yields nothing at all, so
+        un-instrumented runs pay only a dict lookup.
+        """
+        handler = self._bp_handlers.get(fn_name)
+        if handler is None:
+            return
+        resume = self.engine.event(name=f"bp({fn_name})@{self.name}")
+        # Notify asynchronously so the handler may safely kill/suspend us.
+        self.engine.call_later(0.0, lambda: handler(self, fn_name, resume))
+        yield resume
+
+    def sleep(self, delay: float):
+        """Convenience: ``yield from proc.sleep(dt)``."""
+        yield self.engine.timeout(delay)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<UnixProcess pid={self.pid} {self.name!r} on {self.node.name} {self.state.value}>"

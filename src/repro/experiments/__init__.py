@@ -1,0 +1,31 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+* :mod:`repro.experiments.harness` — run/aggregate machinery shared by
+  all experiments (timeout, repetition, outcome percentages);
+* :mod:`repro.experiments.fig5_frequency` — impact of fault frequency;
+* :mod:`repro.experiments.fig6_scale` — impact of scale;
+* :mod:`repro.experiments.fig7_simultaneous` — simultaneous faults;
+* :mod:`repro.experiments.fig9_synchronized` — faults synchronized on
+  the recovery wave (onload counting);
+* :mod:`repro.experiments.fig11_state_sync` — faults synchronized on
+  MPI state (breakpoint at ``localMPI_setCommand``);
+* :mod:`repro.experiments.table1_tools` — the §2.1 qualitative
+  criteria matrix.
+
+Every module exposes ``run_experiment(...) -> ExperimentResult`` and a
+``main()`` CLI that prints the regenerated table.
+"""
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    ExperimentRow,
+    TrialSetup,
+    run_trials,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentRow",
+    "TrialSetup",
+    "run_trials",
+]

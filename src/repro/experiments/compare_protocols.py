@@ -1,0 +1,112 @@
+"""Protocol comparison under identical failure scenarios.
+
+The paper's conclusion (§6) names exactly this use of FAIL-MPI: *"This
+provides the opportunity to evaluate many different implementations at
+large scales and compare them fairly under the same failure
+scenarios"* — citing the authors' own earlier comparison of message
+logging versus coordinated checkpointing [LBH+04].
+
+This experiment runs that comparison: Vcl (coordinated non-blocking
+Chandy-Lamport) versus V2 (pessimistic sender-based message logging)
+on BT, under the *same* Fig. 5a fault-frequency scenario with the same
+seeds.  Expected shape (cf. [LBH+04]):
+
+* fault-free, Vcl wins — pessimistic logging pays a stable-logger
+  round trip per message;
+* under faults the ordering flips with frequency: every Vcl fault
+  rolls the whole application back to the last committed wave, while a
+  V2 fault replays a single rank; as the fault period shrinks, V2
+  keeps making progress where Vcl stalls.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.harness import ExperimentResult, TrialSetup, run_trials
+from repro.fail import builtin_scenarios as bs
+
+PERIODS: Sequence[Optional[int]] = (None, 65, 50, 40)
+N_PROCS = 49
+N_MACHINES = 53
+REPS = 4
+
+
+def setup_for(config: Tuple[str, Optional[int]],
+              n_procs: int = N_PROCS,
+              n_machines: int = N_MACHINES,
+              **workload_kwargs) -> TrialSetup:
+    protocol, period = config
+    kwargs = dict(workload_kwargs)
+    if period is None:
+        return TrialSetup(n_procs=n_procs, n_machines=n_machines,
+                          scenario_source=None, protocol=protocol, **kwargs)
+    return TrialSetup(
+        n_procs=n_procs, n_machines=n_machines,
+        scenario_source=bs.FIG5A_MASTER + bs.FIG4_NODE_DAEMON,
+        scenario_params={"X": period},
+        master_daemon="ADV1", node_daemon="ADV2",
+        protocol=protocol,
+        **kwargs)
+
+
+def run_experiment(reps: int = REPS,
+                   periods: Sequence[Optional[int]] = PERIODS,
+                   n_procs: int = N_PROCS,
+                   n_machines: int = N_MACHINES,
+                   base_seed: int = 13000,
+                   **workload_kwargs) -> ExperimentResult:
+    configs: List[Tuple[str, Optional[int]]] = []
+    labels: List[str] = []
+    for period in periods:
+        for protocol in ("vcl", "v2"):
+            configs.append((protocol, period))
+            suffix = "no faults" if period is None else f"1/{period}s"
+            labels.append(f"{protocol} {suffix}")
+    return run_trials(
+        setup_for=lambda c: setup_for(c, n_procs=n_procs,
+                                      n_machines=n_machines,
+                                      **workload_kwargs),
+        configs=configs, labels=labels, reps=reps,
+        name=(f"Protocol comparison — Vcl vs V2 under the Fig. 5 scenario "
+              f"(BT {n_procs})"),
+        base_seed=base_seed)
+
+
+def crossover_summary(result: ExperimentResult,
+                      periods: Sequence[Optional[int]] = PERIODS) -> str:
+    """Who wins at each fault period (the [LBH+04]-style digest)."""
+    lines = ["period     vcl (s)       v2 (s)      winner"]
+    for period in periods:
+        suffix = "no faults" if period is None else f"1/{period}s"
+        t_vcl = result.row(f"vcl {suffix}").mean_exec_time
+        t_v2 = result.row(f"v2 {suffix}").mean_exec_time
+        if t_vcl is None and t_v2 is None:
+            winner = "neither finishes"
+        elif t_vcl is None:
+            winner = "v2 (vcl stalls)"
+        elif t_v2 is None:
+            winner = "vcl (v2 stalls)"
+        else:
+            winner = "vcl" if t_vcl < t_v2 else "v2"
+        fmt = lambda t: "   ---  " if t is None else f"{t:8.1f}"
+        lines.append(f"{suffix:>9}  {fmt(t_vcl)}     {fmt(t_v2)}     {winner}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reps", type=int, default=REPS)
+    parser.add_argument("--procs", type=int, default=N_PROCS)
+    parser.add_argument("--machines", type=int, default=N_MACHINES)
+    args = parser.parse_args()
+    result = run_experiment(reps=args.reps, n_procs=args.procs,
+                            n_machines=args.machines)
+    print(result.render())
+    print()
+    print(crossover_summary(result))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,91 @@
+"""Figure 5 — impact of fault frequency.
+
+Paper setup: NAS BT class B on 49 processes, 53 machines devoted, one
+fault injected every {65, 60, 55, 50, 45, 40} seconds by scenario
+ADV1 (Fig. 5a) with the generic per-machine daemon ADV2 (Fig. 4), plus
+the no-fault baseline; 6 repetitions per point.
+
+Expected shape (paper §5.1):
+
+* zero buggy runs at every frequency (no overlapping faults);
+* execution time of terminated runs grows as the period shrinks;
+* non-terminating percentage grows as the period shrinks, approaching
+  100 % at 40 s (the fault inter-arrival undercuts checkpoint-wave
+  completion);
+* anomaly: 45 s behaves better than the trend because faults land just
+  after the 30 s checkpoint waves, when rollback is cheapest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.harness import ExperimentResult, TrialSetup, run_trials
+from repro.fail import builtin_scenarios as bs
+
+#: paper x-axis: no faults, then one fault every X seconds
+PERIODS: Sequence[Optional[int]] = (None, 65, 60, 55, 50, 45, 40)
+N_PROCS = 49
+N_MACHINES = 53
+REPS = 6
+
+
+def setup_for_period(period: Optional[int],
+                     n_procs: int = N_PROCS,
+                     n_machines: int = N_MACHINES,
+                     bug_compat: bool = True,
+                     niters: Optional[int] = None,
+                     total_compute: Optional[float] = None,
+                     footprint: Optional[float] = None) -> TrialSetup:
+    """TrialSetup for one x-axis point (None = no faults)."""
+    kwargs = {}
+    if niters is not None:
+        kwargs["niters"] = niters
+    if total_compute is not None:
+        kwargs["total_compute"] = total_compute
+    if footprint is not None:
+        kwargs["footprint"] = footprint
+    if period is None:
+        return TrialSetup(n_procs=n_procs, n_machines=n_machines,
+                          scenario_source=None, bug_compat=bug_compat,
+                          **kwargs)
+    return TrialSetup(
+        n_procs=n_procs, n_machines=n_machines,
+        scenario_source=bs.FIG5A_MASTER + bs.FIG4_NODE_DAEMON,
+        scenario_params={"X": period},
+        master_daemon="ADV1", node_daemon="ADV2",
+        bug_compat=bug_compat,
+        **kwargs)
+
+
+def run_experiment(reps: int = REPS,
+                   periods: Sequence[Optional[int]] = PERIODS,
+                   n_procs: int = N_PROCS,
+                   n_machines: int = N_MACHINES,
+                   base_seed: int = 5000,
+                   **workload_kwargs) -> ExperimentResult:
+    labels = ["no faults" if p is None else f"every {p} sec" for p in periods]
+    return run_trials(
+        setup_for=lambda p: setup_for_period(
+            p, n_procs=n_procs, n_machines=n_machines, **workload_kwargs),
+        configs=list(periods),
+        labels=labels,
+        reps=reps,
+        name=f"Fig. 5 — impact of fault frequency (BT {n_procs})",
+        base_seed=base_seed)
+
+
+def main() -> None:  # pragma: no cover - CLI
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reps", type=int, default=REPS)
+    parser.add_argument("--procs", type=int, default=N_PROCS)
+    parser.add_argument("--machines", type=int, default=N_MACHINES)
+    args = parser.parse_args()
+    result = run_experiment(reps=args.reps, n_procs=args.procs,
+                            n_machines=args.machines)
+    print(result.render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,78 @@
+"""Figure 6 — impact of scale.
+
+Paper setup: BT class B on 25/36/49/64 processes (BT needs a perfect
+square), one fault every 50 seconds, 5 repetitions, same number of
+checkpoint servers at every scale.
+
+Expected shape (paper §5.2):
+
+* no-fault execution time decreases with scale (constant total work);
+* the faulty execution time is erratic: its *variance grows with
+  scale* because the time between the last checkpoint wave and the
+  fault dominates, and the paper argues the mean alone is not
+  meaningful;
+* occasional non-termination at 25 nodes, where per-process checkpoint
+  images are largest (checkpoint/recovery slowest) and a run whose
+  waves synchronize with the 50 s faults makes no progress.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.experiments.harness import (ExperimentResult, TrialSetup,
+                                       run_trials)
+from repro.experiments.fig5_frequency import setup_for_period
+
+SCALES: Sequence[int] = (25, 36, 49, 64)
+FAULT_PERIOD = 50
+REPS = 5
+
+
+def run_experiment(reps: int = REPS,
+                   scales: Sequence[int] = SCALES,
+                   fault_period: int = FAULT_PERIOD,
+                   base_seed: int = 6000,
+                   **workload_kwargs) -> ExperimentResult:
+    configs: List[Tuple[int, bool]] = []
+    labels: List[str] = []
+    for scale in scales:
+        configs.append((scale, False))
+        labels.append(f"BT {scale} no faults")
+        configs.append((scale, True))
+        labels.append(f"BT {scale} 1/{fault_period}s")
+
+    def setup_for(config: Tuple[int, bool]) -> TrialSetup:
+        scale, faulty = config
+        return setup_for_period(
+            fault_period if faulty else None,
+            n_procs=scale, n_machines=scale + 4,
+            **workload_kwargs)
+
+    return run_trials(
+        setup_for=setup_for, configs=configs, labels=labels, reps=reps,
+        name=f"Fig. 6 — impact of scale (1 fault / {fault_period} s)",
+        base_seed=base_seed)
+
+
+def variance_by_scale(result: ExperimentResult, fault_period: int = FAULT_PERIOD):
+    """(scale, stdev of faulty exec time) pairs — the paper's variance
+    argument, extracted for EXPERIMENTS.md."""
+    out = []
+    for row in result.rows:
+        if row.label.endswith(f"1/{fault_period}s"):
+            scale = int(row.label.split()[1])
+            out.append((scale, row.stdev_exec_time))
+    return out
+
+
+def main() -> None:  # pragma: no cover - CLI
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reps", type=int, default=REPS)
+    args = parser.parse_args()
+    print(run_experiment(reps=args.reps).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,75 @@
+"""Figure 9 — impact of synchronized faults.
+
+Paper setup (§5.3, "bug hunting"): scenarios of Fig. 8.  P1 injects
+one random fault; each machine's FAIL daemon counts its own ``onload``
+events, and the *second* load — the first recovery-wave relaunch on
+that machine — triggers a ``waveok`` to P1, which immediately crashes
+that reporting machine.  Only two faults total are injected.
+
+Expected shape: at every scale *some but a minority* of runs freeze
+(buggy): whether the second kill lands before or after the recovered
+daemon's registration with the dispatcher decides whether detection
+works (spawn watch) or the misattribution bug bites.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.experiments.harness import ExperimentResult, TrialSetup, run_trials
+from repro.experiments.fig5_frequency import setup_for_period
+from repro.fail import builtin_scenarios as bs
+
+SCALES: Sequence[int] = (25, 36, 49, 64)
+REPS = 6
+
+
+def setup_for_scale(scale: int, n_spares: int = 4, bug_compat: bool = True,
+                    **workload_kwargs) -> TrialSetup:
+    return TrialSetup(
+        n_procs=scale, n_machines=scale + n_spares,
+        scenario_source=bs.FIG8A_MASTER + bs.FIG8B_NODE_DAEMON,
+        master_daemon="ADV1", node_daemon="ADVnodes",
+        bug_compat=bug_compat,
+        **workload_kwargs)
+
+
+def run_experiment(reps: int = REPS,
+                   scales: Sequence[int] = SCALES,
+                   bug_compat: bool = True,
+                   include_baseline: bool = True,
+                   base_seed: int = 9000,
+                   **workload_kwargs) -> ExperimentResult:
+    configs: List[Tuple[int, bool]] = []
+    labels: List[str] = []
+    for scale in scales:
+        if include_baseline:
+            configs.append((scale, False))
+            labels.append(f"BT {scale} no faults")
+        configs.append((scale, True))
+        labels.append(f"BT {scale} sync2")
+
+    def setup_for(config: Tuple[int, bool]) -> TrialSetup:
+        scale, faulty = config
+        if not faulty:
+            return setup_for_period(None, n_procs=scale,
+                                    n_machines=scale + 4, **workload_kwargs)
+        return setup_for_scale(scale, bug_compat=bug_compat, **workload_kwargs)
+
+    return run_trials(
+        setup_for=setup_for, configs=configs, labels=labels, reps=reps,
+        name="Fig. 9 — impact of synchronized faults (2 faults, onload-timed)",
+        base_seed=base_seed)
+
+
+def main() -> None:  # pragma: no cover - CLI
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reps", type=int, default=REPS)
+    parser.add_argument("--fixed", action="store_true")
+    args = parser.parse_args()
+    print(run_experiment(reps=args.reps, bug_compat=not args.fixed).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

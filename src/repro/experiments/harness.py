@@ -1,0 +1,184 @@
+"""Shared experiment machinery.
+
+One *trial* = one deployment of MPICH-Vcl running BT under a FAIL
+scenario, killed at the 1500 s timeout if still running, classified
+from its trace exactly as in the paper (§5: terminated /
+non-terminating / buggy).  One *row* = several repetitions of the same
+configuration (the paper runs 5–6); a *result* = the set of rows a
+figure plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.classify import Outcome
+from repro.analysis.stats import confidence_interval, mean, stdev
+from repro.fail.scenario import Binding, deploy_scenario
+from repro.mpichv.config import VclConfig
+from repro.mpichv.runtime import RunResult, VclRuntime
+from repro.workloads.nas_bt import BTWorkload
+
+
+@dataclass
+class TrialSetup:
+    """Everything needed to build one trial."""
+
+    n_procs: int
+    n_machines: int
+    scenario_source: Optional[str] = None
+    scenario_params: Dict[str, int] = field(default_factory=dict)
+    #: instance -> daemon name; groups bind to all compute machines
+    master_daemon: str = "ADV1"
+    node_daemon: str = "ADV2"
+    bug_compat: bool = True
+    timeout: float = 1500.0
+    ckpt_period: float = 30.0
+    fault_tolerant: bool = True
+    #: "vcl" (the paper's protocol) or "v2" (message logging)
+    protocol: str = "vcl"
+    #: BT calibration (reduced in tests, class-B-like in benchmarks)
+    niters: int = 120
+    total_compute: float = 8800.0
+    footprint: float = 1.6e9
+    keep_trace: bool = False
+
+    def build(self, seed: int):
+        """Construct (runtime, deployment) for one repetition."""
+        config = VclConfig(
+            n_procs=self.n_procs,
+            n_machines=self.n_machines,
+            ckpt_period=self.ckpt_period,
+            bug_compat=self.bug_compat,
+            timeout=self.timeout,
+            fault_tolerant=self.fault_tolerant,
+            protocol=self.protocol,
+            footprint=self.footprint,
+        )
+        workload = BTWorkload(
+            n_procs=self.n_procs,
+            niters=self.niters,
+            total_compute=self.total_compute,
+            footprint=self.footprint,
+        )
+        runtime = VclRuntime(config, workload.make_factory(), seed=seed,
+                             keep_trace=self.keep_trace)
+        deployment = None
+        if self.scenario_source is not None:
+            params = dict(self.scenario_params)
+            params.setdefault("N", self.n_machines - 1)
+            bindings = {
+                "P1": Binding(daemon=self.master_daemon, nodes=None),
+                "G1": Binding(daemon=self.node_daemon,
+                              nodes=list(runtime.machines)),
+            }
+            deployment = deploy_scenario(runtime, self.scenario_source,
+                                         params=params, bindings=bindings)
+        return runtime, deployment
+
+    def run_one(self, seed: int) -> RunResult:
+        runtime, _deployment = self.build(seed)
+        return runtime.run()
+
+
+@dataclass
+class ExperimentRow:
+    """Aggregated repetitions of one configuration (one bar/point)."""
+
+    label: str
+    results: List[RunResult]
+
+    @property
+    def n(self) -> int:
+        return len(self.results)
+
+    def count(self, outcome: Outcome) -> int:
+        return sum(1 for r in self.results if r.outcome is outcome)
+
+    @property
+    def pct_terminated(self) -> float:
+        return 100.0 * self.count(Outcome.TERMINATED) / self.n
+
+    @property
+    def pct_non_terminating(self) -> float:
+        return 100.0 * self.count(Outcome.NON_TERMINATING) / self.n
+
+    @property
+    def pct_buggy(self) -> float:
+        return 100.0 * self.count(Outcome.BUGGY) / self.n
+
+    @property
+    def exec_times(self) -> List[float]:
+        return [r.exec_time for r in self.results if r.exec_time is not None]
+
+    @property
+    def mean_exec_time(self) -> Optional[float]:
+        times = self.exec_times
+        return mean(times) if times else None
+
+    @property
+    def stdev_exec_time(self) -> Optional[float]:
+        times = self.exec_times
+        return stdev(times) if times else None
+
+    @property
+    def ci_exec_time(self) -> Optional[float]:
+        times = self.exec_times
+        return confidence_interval(times) if len(times) >= 2 else None
+
+    @property
+    def total_faults(self) -> int:
+        return sum(r.failures_detected for r in self.results)
+
+
+@dataclass
+class ExperimentResult:
+    """All rows of one figure, with rendering helpers."""
+
+    name: str
+    rows: List[ExperimentRow]
+
+    def render(self) -> str:
+        """ASCII table in the shape of the paper's plots."""
+        header = (f"{'config':>22} | {'runs':>4} | {'%term':>6} | "
+                  f"{'%non-term':>9} | {'%buggy':>6} | {'exec time (s)':>16}")
+        lines = [f"== {self.name} ==", header, "-" * len(header)]
+        for row in self.rows:
+            t = row.mean_exec_time
+            s = row.stdev_exec_time
+            if t is None:
+                timing = "(none finished)"
+            else:
+                timing = f"{t:8.1f} ± {s:6.1f}" if s is not None else f"{t:8.1f}"
+            lines.append(
+                f"{row.label:>22} | {row.n:>4} | {row.pct_terminated:>6.1f} | "
+                f"{row.pct_non_terminating:>9.1f} | {row.pct_buggy:>6.1f} | "
+                f"{timing:>16}")
+        return "\n".join(lines)
+
+    def row(self, label: str) -> ExperimentRow:
+        for r in self.rows:
+            if r.label == label:
+                return r
+        raise KeyError(label)
+
+
+def run_trials(setup_for: Callable[[object], TrialSetup],
+               configs: Sequence,
+               labels: Sequence[str],
+               reps: int,
+               name: str,
+               base_seed: int = 1000) -> ExperimentResult:
+    """Run ``reps`` repetitions of each configuration.
+
+    ``setup_for(config)`` builds the TrialSetup for one x-axis value.
+    Seeds are derived deterministically from (config index, rep).
+    """
+    rows: List[ExperimentRow] = []
+    for ci, (config, label) in enumerate(zip(configs, labels)):
+        setup = setup_for(config)
+        results = [setup.run_one(seed=base_seed + 7919 * ci + rep)
+                   for rep in range(reps)]
+        rows.append(ExperimentRow(label=label, results=results))
+    return ExperimentResult(name=name, rows=rows)

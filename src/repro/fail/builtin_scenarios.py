@@ -1,0 +1,140 @@
+"""The paper's FAIL scenarios, transcribed from Figs. 4, 5a, 7a, 8a/8b
+and 10a/10b (including the listings' line labels, which the parser
+accepts verbatim).
+
+Meta-parameters (bound per experiment via ``params``):
+
+* ``X`` — fault period in seconds (Figs. 5a) or the simultaneous-fault
+  count (Fig. 7a);
+* ``N`` — highest machine index, i.e. ``n_machines - 1`` (the paper
+  hardcodes 52 for its 53 machines; we keep it a parameter so every
+  scale works).
+"""
+
+# Fig. 4 — the generic per-machine daemon: control whatever MPI node
+# loads locally, crash it on order, negative-ack when nothing runs.
+FIG4_NODE_DAEMON = """
+Daemon ADV2 {
+  node 1:
+    1 onload -> continue, goto 2;
+    2 ?crash -> !no(P1), goto 1;
+  node 2:
+    3 onexit -> goto 1;
+    4 onerror -> goto 1;
+    5 onload -> continue, goto 2;
+    6 ?crash -> !ok(P1), halt, goto 1;
+}
+"""
+
+# Fig. 5a — P1 for the fault-frequency experiment: every X seconds
+# crash one uniformly chosen machine, re-drawing on negative acks.
+FIG5A_MASTER = """
+Daemon ADV1 {
+  node 1:
+    1 always int ran = FAIL_RANDOM(0, N);
+    2 time g_timer = X;
+    3 timer -> !crash(G1[ran]), goto 2;
+  node 2:
+    4 always int ran = FAIL_RANDOM(0, N);
+    5 ?ok -> goto 1;
+    6 ?no -> !crash(G1[ran]), goto 2;
+}
+"""
+
+# Fig. 7a — P1 for the simultaneous-faults experiment: every 50 s
+# inject X crashes back-to-back.
+FIG7A_MASTER = """
+Daemon ADV1 {
+  1 int nb_crash = X;
+  node 1:
+    2 always int ran = FAIL_RANDOM(0, N);
+    3 time g_timer = 50;
+    4 timer -> !crash(G1[ran]), goto 2;
+  node 2:
+    5 always int ran = FAIL_RANDOM(0, N);
+    6 ?ok && nb_crash > 1 -> !crash(G1[ran]), nb_crash = nb_crash - 1, goto 2;
+    7 ?ok && nb_crash <= 1 -> nb_crash = X, goto 1;
+    8 ?no -> !crash(G1[ran]), goto 2;
+}
+"""
+
+# Fig. 8a — P1 for the synchronized-faults experiment (Fig. 9): one
+# random crash, then crash the first machine that reports a recovery
+# wave (second onload), then nothing.
+FIG8A_MASTER = """
+Daemon ADV1 {
+  node 1:
+    1 always int ran = FAIL_RANDOM(0, N);
+    2 time g_timer = 50;
+    3 timer -> !crash(G1[ran]), goto 2;
+  node 2:
+    4 always int ran = FAIL_RANDOM(0, N);
+    5 ?ok -> goto 3;
+    6 ?no -> !crash(G1[ran]), goto 2;
+  node 3:
+    7 ?waveok -> !crash(FAIL_SENDER), goto 4;
+  node 4:
+}
+"""
+
+# Fig. 8b — the per-machine daemon for Fig. 9: counts its own loads;
+# the second load is the first recovery wave -> tell P1.
+FIG8B_NODE_DAEMON = """
+Daemon ADVnodes {
+  1 int wave = 1;
+  node 1:
+    2 onload && wave <> 2 -> continue, wave = wave + 1, goto 2;
+    3 onload && wave == 2 -> continue, wave = wave + 1, !waveok(P1), goto 2;
+    4 ?crash -> !no(P1), goto 1;
+  node 2:
+    5 onexit -> goto 1;
+    6 onerror -> goto 1;
+    7 onload && wave <> 2 -> continue, wave = wave + 1, goto 2;
+    8 onload && wave == 2 -> continue, wave = wave + 1, !waveok(P1), goto 2;
+    9 ?crash -> !ok(P1), halt, goto 1;
+}
+"""
+
+# Fig. 10a — P1 for the state-synchronized experiment (Fig. 11): as
+# Fig. 8a, but machines that report the recovery wave after the first
+# get an explicit nocrash so they are released from their stop.
+FIG10A_MASTER = """
+Daemon ADV1 {
+  node 1:
+    1 always int ran = FAIL_RANDOM(0, N);
+    2 time g_timer = 50;
+    3 timer -> !crash(G1[ran]), goto 2;
+  node 2:
+    4 always int ran = FAIL_RANDOM(0, N);
+    5 ?ok -> goto 3;
+    6 ?no -> !crash(G1[ran]), goto 2;
+  node 3:
+    7 ?waveok -> !crash(FAIL_SENDER), goto 4;
+  node 4:
+    8 ?waveok -> !nocrash(FAIL_SENDER), goto 4;
+}
+"""
+
+# Fig. 10b — the per-machine daemon for Fig. 11: stop every recovery
+# launch, ask P1, and if designated, kill the daemon *just before
+# localMPI_setCommand* — after it registered with the dispatcher.
+FIG10B_NODE_DAEMON = """
+Daemon ADVnodes {
+  node 1:
+    1 onload -> continue, goto 2;
+    2 ?crash -> !no(P1), goto 1;
+  node 11:
+    3 onload -> !waveok(P1), stop, goto 3;
+    4 ?crash -> !no(P1), goto 11;
+  node 2:
+    5 ?crash -> !ok(P1), halt, goto 11;
+    6 onload -> !waveok(P1), stop, goto 3;
+  node 3:
+    7 ?crash -> !ok(P1), continue, goto 4;
+    8 ?nocrash -> continue, goto 5;
+  node 4:
+    9 before(localMPI_setCommand) -> halt, goto 5;
+  node 5:
+    10 onload -> continue, goto 5;
+}
+"""

@@ -1,0 +1,55 @@
+"""The "FCI compiler": FAIL source → executable scenario.
+
+The real FCI compiler emits C++ sources plus configuration files that
+get distributed and built per machine.  Here compilation means:
+parse → semantic check (with the experiment's meta-parameters) →
+a :class:`CompiledScenario` of daemon definitions ready for
+instantiation by :mod:`repro.fail.scenario`.  A readable Python
+rendition of each state machine is available via
+:mod:`repro.fail.codegen` (the analogue of inspecting the generated
+C++).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.fail.lang import ast
+from repro.fail.lang.errors import FailSemanticError
+from repro.fail.lang.parser import parse_fail
+from repro.fail.lang.semantics import check_program
+
+
+@dataclass(frozen=True)
+class CompiledScenario:
+    """A validated FAIL program plus its meta-parameter values."""
+
+    program: ast.Program
+    params: Dict[str, int] = field(default_factory=dict)
+
+    def daemon(self, name: str) -> ast.DaemonDef:
+        try:
+            return self.program.daemon(name)
+        except KeyError:
+            raise FailSemanticError(f"no daemon named {name!r} in scenario")
+
+    @property
+    def daemon_names(self) -> Tuple[str, ...]:
+        return tuple(d.name for d in self.program.daemons)
+
+
+def compile_scenario(source: str, params: Dict[str, int] = None) -> CompiledScenario:
+    """Parse + check ``source`` with meta-parameters ``params``.
+
+    ``params`` plays the role of the paper's meta variables (X, N):
+    identifiers left free in the scenario text and bound per experiment.
+    """
+    params = dict(params or {})
+    for key, value in params.items():
+        if not isinstance(value, int):
+            raise FailSemanticError(
+                f"parameter {key!r} must be an int, got {value!r}")
+    program = parse_fail(source)
+    check_program(program, params=params.keys())
+    return CompiledScenario(program=program, params=params)

@@ -1,0 +1,25 @@
+"""Errors raised by the FAIL front end."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class FailError(Exception):
+    """Base class for FAIL language errors."""
+
+    def __init__(self, message: str, line: Optional[int] = None,
+                 col: Optional[int] = None):
+        self.line = line
+        self.col = col
+        if line is not None:
+            message = f"line {line}" + (f":{col}" if col is not None else "") + f": {message}"
+        super().__init__(message)
+
+
+class FailSyntaxError(FailError):
+    """Lexing or parsing failure."""
+
+
+class FailSemanticError(FailError):
+    """Well-formed but meaningless scenario (bad goto, undeclared var…)."""

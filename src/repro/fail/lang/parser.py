@@ -1,0 +1,306 @@
+"""Recursive-descent parser for FAIL.
+
+Grammar (see DESIGN.md §S5 and the listings in the paper):
+
+.. code-block:: text
+
+    program     := (daemon_def | deploy_block)* EOF
+    daemon_def  := "Daemon" IDENT "{" var_decl* node_def+ "}"
+    var_decl    := "int" IDENT "=" expr ";"
+    node_def    := "node" INT ":" item*
+    item        := [INT]                       # optional listing label
+                   ( "always" "int" IDENT "=" expr ";"
+                   | "time" IDENT "=" expr ";"
+                   | transition )
+    transition  := trigger ["&&" expr] "->" action ("," action)* ";"
+    trigger     := "timer" | "?" IDENT | "onload" | "onexit" | "onerror"
+                 | "before" "(" IDENT ")"
+    action      := "!" IDENT "(" dest ")" | "goto" INT | "halt" | "stop"
+                 | "continue" | IDENT "=" expr
+    dest        := "FAIL_SENDER" | IDENT [ "[" expr "]" ]
+    deploy_block:= "Deploy" "{" (IDENT ["[" INT "]"] "=" IDENT ";")* "}"
+
+Expressions use C precedence with the paper's ``<>`` inequality.  The
+optional integer labels let the paper's listings be pasted verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.fail.lang import ast
+from repro.fail.lang.errors import FailSyntaxError
+from repro.fail.lang.lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            want = value or kind
+            raise FailSyntaxError(f"expected {want!r}, got {tok.value!r}",
+                                  line=tok.line, col=tok.col)
+        return tok
+
+    def at(self, kind: str, value: Optional[str] = None, ahead: int = 0) -> bool:
+        tok = self.peek(ahead)
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    # -- program -------------------------------------------------------------
+    def program(self) -> ast.Program:
+        daemons: List[ast.DaemonDef] = []
+        deploy: List[ast.DeployDirective] = []
+        while not self.at("eof"):
+            if self.at("keyword", "Daemon"):
+                daemons.append(self.daemon_def())
+            elif self.at("keyword", "Deploy"):
+                deploy.extend(self.deploy_block())
+            else:
+                tok = self.peek()
+                raise FailSyntaxError(
+                    f"expected 'Daemon' or 'Deploy', got {tok.value!r}",
+                    line=tok.line, col=tok.col)
+        return ast.Program(daemons=tuple(daemons), deploy=tuple(deploy))
+
+    def daemon_def(self) -> ast.DaemonDef:
+        self.expect("keyword", "Daemon")
+        name = self.expect("ident").value
+        self.expect("{")
+        variables: List[ast.VarDecl] = []
+        while True:
+            # optional listing label before a daemon-scope declaration
+            if self.at("number") and self.at("keyword", "int", ahead=1):
+                self.next()
+            if not self.at("keyword", "int"):
+                break
+            self.next()
+            var = self.expect("ident").value
+            self.expect("=")
+            init = self.expr()
+            self.expect(";")
+            variables.append(ast.VarDecl(var, init))
+        nodes: List[ast.NodeDef] = []
+        while self.at("keyword", "node"):
+            nodes.append(self.node_def())
+        self.expect("}")
+        if not nodes:
+            tok = self.peek()
+            raise FailSyntaxError(f"daemon {name!r} has no nodes",
+                                  line=tok.line, col=tok.col)
+        return ast.DaemonDef(name=name, variables=tuple(variables),
+                             nodes=tuple(nodes))
+
+    def node_def(self) -> ast.NodeDef:
+        self.expect("keyword", "node")
+        # tolerate the paper's "node node 1:" typo
+        if self.at("keyword", "node"):
+            self.next()
+        node_id = int(self.expect("number").value)
+        self.expect(":")
+        always: List[ast.AlwaysDecl] = []
+        timers: List[ast.TimerDecl] = []
+        transitions: List[ast.Transition] = []
+        while True:
+            # optional listing label: an integer not followed by ':'
+            if self.at("number") and not self.at(":", ahead=1):
+                self.next()
+            if self.at("keyword", "always"):
+                self.next()
+                self.expect("keyword", "int")
+                var = self.expect("ident").value
+                self.expect("=")
+                init = self.expr()
+                self.expect(";")
+                always.append(ast.AlwaysDecl(var, init))
+            elif self.at("keyword", "time"):
+                self.next()
+                var = self.expect("ident").value
+                self.expect("=")
+                delay = self.expr()
+                self.expect(";")
+                timers.append(ast.TimerDecl(var, delay))
+            elif self._at_trigger():
+                transitions.append(self.transition())
+            else:
+                break
+        return ast.NodeDef(node_id=node_id, always=tuple(always),
+                           timers=tuple(timers), transitions=tuple(transitions))
+
+    # -- transitions --------------------------------------------------------
+    _TRIGGER_KEYWORDS = ("timer", "onload", "onexit", "onerror", "before")
+
+    def _at_trigger(self) -> bool:
+        if self.at("?"):
+            return True
+        return any(self.at("keyword", kw) for kw in self._TRIGGER_KEYWORDS)
+
+    def transition(self) -> ast.Transition:
+        line = self.peek().line
+        trigger = self.trigger()
+        guard: Optional[ast.Expr] = None
+        if self.at("&&"):
+            self.next()
+            guard = self.expr()
+        self.expect("->")
+        actions = [self.action()]
+        while self.at(","):
+            self.next()
+            actions.append(self.action())
+        self.expect(";")
+        return ast.Transition(trigger=trigger, guard=guard,
+                              actions=tuple(actions), line=line)
+
+    def trigger(self) -> ast.Trigger:
+        if self.at("?"):
+            self.next()
+            return ast.MsgTrigger(self.expect("ident").value)
+        tok = self.next()
+        if tok.kind != "keyword":
+            raise FailSyntaxError(f"expected a trigger, got {tok.value!r}",
+                                  line=tok.line, col=tok.col)
+        if tok.value == "timer":
+            return ast.TimerTrigger()
+        if tok.value == "onload":
+            return ast.OnLoad()
+        if tok.value == "onexit":
+            return ast.OnExit()
+        if tok.value == "onerror":
+            return ast.OnError()
+        if tok.value == "before":
+            self.expect("(")
+            func = self.expect("ident").value
+            self.expect(")")
+            return ast.Before(func)
+        raise FailSyntaxError(f"unknown trigger {tok.value!r}",
+                              line=tok.line, col=tok.col)
+
+    def action(self) -> ast.Action:
+        if self.at("!"):
+            self.next()
+            msg = self.expect("ident").value
+            self.expect("(")
+            dest = self.dest()
+            self.expect(")")
+            return ast.SendAction(msg=msg, dest=dest)
+        if self.at("keyword", "goto"):
+            self.next()
+            return ast.GotoAction(int(self.expect("number").value))
+        if self.at("keyword", "halt"):
+            self.next()
+            return ast.HaltAction()
+        if self.at("keyword", "stop"):
+            self.next()
+            return ast.StopAction()
+        if self.at("keyword", "continue"):
+            self.next()
+            return ast.ContinueAction()
+        if self.at("ident") and self.at("=", ahead=1):
+            name = self.next().value
+            self.next()
+            return ast.AssignAction(name=name, expr=self.expr())
+        tok = self.peek()
+        raise FailSyntaxError(f"expected an action, got {tok.value!r}",
+                              line=tok.line, col=tok.col)
+
+    def dest(self) -> ast.Dest:
+        tok = self.expect("ident")
+        if tok.value == "FAIL_SENDER":
+            return ast.DestSender()
+        if self.at("["):
+            self.next()
+            index = self.expr()
+            self.expect("]")
+            return ast.DestIndex(group=tok.value, index=index)
+        return ast.DestName(tok.value)
+
+    # -- expressions (precedence climbing) --------------------------------------
+    _BIN_LEVELS: Tuple[Tuple[str, ...], ...] = (
+        ("||",),
+        ("&&",),
+        ("==", "<>"),
+        ("<", "<=", ">", ">="),
+        ("+", "-"),
+        ("*", "/", "%"),
+    )
+
+    def expr(self, level: int = 0) -> ast.Expr:
+        if level == len(self._BIN_LEVELS):
+            return self.unary()
+        left = self.expr(level + 1)
+        ops = self._BIN_LEVELS[level]
+        while any(self.at(op) for op in ops):
+            op = self.next().value
+            right = self.expr(level + 1)
+            left = ast.BinOp(op=op, left=left, right=right)
+        return left
+
+    def unary(self) -> ast.Expr:
+        if self.at("-"):
+            self.next()
+            return ast.UnOp("-", self.unary())
+        if self.at("!"):
+            self.next()
+            return ast.UnOp("!", self.unary())
+        return self.atom()
+
+    def atom(self) -> ast.Expr:
+        if self.at("number"):
+            return ast.Num(int(self.next().value))
+        if self.at("("):
+            self.next()
+            inner = self.expr()
+            self.expect(")")
+            return inner
+        tok = self.expect("ident")
+        if tok.value == "FAIL_RANDOM":
+            self.expect("(")
+            lo = self.expr()
+            self.expect(",")
+            hi = self.expr()
+            self.expect(")")
+            return ast.RandCall(lo=lo, hi=hi)
+        if tok.value == "FAIL_READ":
+            self.expect("(")
+            name = self.expect("ident").value
+            self.expect(")")
+            return ast.ReadCall(name=name)
+        return ast.Var(tok.value)
+
+    # -- deploy ---------------------------------------------------------------
+    def deploy_block(self) -> List[ast.DeployDirective]:
+        self.expect("keyword", "Deploy")
+        self.expect("{")
+        out: List[ast.DeployDirective] = []
+        while not self.at("}"):
+            instance = self.expect("ident").value
+            group_size: Optional[int] = None
+            if self.at("["):
+                self.next()
+                group_size = int(self.expect("number").value)
+                self.expect("]")
+            self.expect("=")
+            daemon = self.expect("ident").value
+            self.expect(";")
+            out.append(ast.DeployDirective(instance=instance, daemon=daemon,
+                                           group_size=group_size))
+        self.expect("}")
+        return out
+
+
+def parse_fail(source: str) -> ast.Program:
+    """Parse FAIL source text into a :class:`repro.fail.lang.ast.Program`."""
+    return _Parser(tokenize(source)).program()

@@ -1,0 +1,117 @@
+"""Pretty-printer: AST → canonical FAIL source.
+
+Round-trip property (tested with hypothesis): parsing the output of
+``pretty_print`` reproduces the same AST.  This is the anchor that
+keeps the lexer, parser and printer honest against each other.
+"""
+
+from __future__ import annotations
+
+from repro.fail.lang import ast
+
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "==": 3, "<>": 3,
+    "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5, "*": 6, "/": 6, "%": 6,
+}
+
+
+def expr_str(expr: ast.Expr, parent_prec: int = 0) -> str:
+    if isinstance(expr, ast.Num):
+        return str(expr.value)
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.RandCall):
+        return f"FAIL_RANDOM({expr_str(expr.lo)}, {expr_str(expr.hi)})"
+    if isinstance(expr, ast.ReadCall):
+        return f"FAIL_READ({expr.name})"
+    if isinstance(expr, ast.UnOp):
+        inner = expr_str(expr.operand, parent_prec=7)
+        return f"{expr.op}{inner}"
+    if isinstance(expr, ast.BinOp):
+        prec = _PRECEDENCE[expr.op]
+        # left-associative: the right child needs parens at equal prec
+        left = expr_str(expr.left, parent_prec=prec)
+        right = expr_str(expr.right, parent_prec=prec + 1)
+        text = f"{left} {expr.op} {right}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def dest_str(dest: ast.Dest) -> str:
+    if isinstance(dest, ast.DestSender):
+        return "FAIL_SENDER"
+    if isinstance(dest, ast.DestName):
+        return dest.name
+    if isinstance(dest, ast.DestIndex):
+        return f"{dest.group}[{expr_str(dest.index)}]"
+    raise TypeError(f"not a destination: {dest!r}")
+
+
+def trigger_str(trigger: ast.Trigger) -> str:
+    if isinstance(trigger, ast.TimerTrigger):
+        return "timer"
+    if isinstance(trigger, ast.MsgTrigger):
+        return f"?{trigger.name}"
+    if isinstance(trigger, ast.OnLoad):
+        return "onload"
+    if isinstance(trigger, ast.OnExit):
+        return "onexit"
+    if isinstance(trigger, ast.OnError):
+        return "onerror"
+    if isinstance(trigger, ast.Before):
+        return f"before({trigger.func})"
+    raise TypeError(f"not a trigger: {trigger!r}")
+
+
+def action_str(action: ast.Action) -> str:
+    if isinstance(action, ast.SendAction):
+        return f"!{action.msg}({dest_str(action.dest)})"
+    if isinstance(action, ast.GotoAction):
+        return f"goto {action.node}"
+    if isinstance(action, ast.HaltAction):
+        return "halt"
+    if isinstance(action, ast.StopAction):
+        return "stop"
+    if isinstance(action, ast.ContinueAction):
+        return "continue"
+    if isinstance(action, ast.AssignAction):
+        return f"{action.name} = {expr_str(action.expr)}"
+    raise TypeError(f"not an action: {action!r}")
+
+
+def transition_str(tr: ast.Transition) -> str:
+    head = trigger_str(tr.trigger)
+    if tr.guard is not None:
+        head += f" && {expr_str(tr.guard, parent_prec=3)}"
+    body = ", ".join(action_str(a) for a in tr.actions)
+    return f"{head} -> {body};"
+
+
+def pretty_print(program: ast.Program) -> str:
+    """Render a whole program as canonical FAIL source."""
+    lines = []
+    for daemon in program.daemons:
+        lines.append(f"Daemon {daemon.name} {{")
+        for var in daemon.variables:
+            lines.append(f"  int {var.name} = {expr_str(var.init)};")
+        for nd in daemon.nodes:
+            lines.append(f"  node {nd.node_id}:")
+            for a in nd.always:
+                lines.append(f"    always int {a.name} = {expr_str(a.init)};")
+            for t in nd.timers:
+                lines.append(f"    time {t.name} = {expr_str(t.delay)};")
+            for tr in nd.transitions:
+                lines.append(f"    {transition_str(tr)}")
+        lines.append("}")
+    if program.deploy:
+        lines.append("Deploy {")
+        for d in program.deploy:
+            if d.group_size is None:
+                lines.append(f"  {d.instance} = {d.daemon};")
+            else:
+                lines.append(f"  {d.instance}[{d.group_size}] = {d.daemon};")
+        lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,129 @@
+"""Semantic checks for FAIL programs.
+
+Run after parsing and before compilation: catches dangling ``goto``\\ s,
+undeclared variables, duplicate names — the errors the FCI compiler
+would reject before generating code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.fail.lang import ast
+from repro.fail.lang.errors import FailSemanticError
+
+
+def _expr_vars(expr: ast.Expr) -> Set[str]:
+    if isinstance(expr, ast.Num):
+        return set()
+    if isinstance(expr, ast.Var):
+        return {expr.name}
+    if isinstance(expr, ast.BinOp):
+        return _expr_vars(expr.left) | _expr_vars(expr.right)
+    if isinstance(expr, ast.UnOp):
+        return _expr_vars(expr.operand)
+    if isinstance(expr, ast.RandCall):
+        return _expr_vars(expr.lo) | _expr_vars(expr.hi)
+    if isinstance(expr, ast.ReadCall):
+        return set()        # resolved against the application at runtime
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def check_daemon(daemon: ast.DaemonDef, params: Iterable[str] = ()) -> None:
+    """Validate one daemon definition.
+
+    ``params`` are externally-substituted names (the paper's meta
+    variables like X and N) that count as defined.
+    """
+    params = set(params)
+    node_ids = [nd.node_id for nd in daemon.nodes]
+    dupes = {i for i in node_ids if node_ids.count(i) > 1}
+    if dupes:
+        raise FailSemanticError(
+            f"daemon {daemon.name!r}: duplicate node id(s) {sorted(dupes)}")
+    node_set = set(node_ids)
+    daemon_vars = {v.name for v in daemon.variables}
+    var_dupes = [v.name for v in daemon.variables
+                 if sum(1 for w in daemon.variables if w.name == v.name) > 1]
+    if var_dupes:
+        raise FailSemanticError(
+            f"daemon {daemon.name!r}: duplicate variable(s) {sorted(set(var_dupes))}")
+
+    for decl in daemon.variables:
+        undef = _expr_vars(decl.init) - params
+        if undef:
+            raise FailSemanticError(
+                f"daemon {daemon.name!r}: variable {decl.name!r} initialised "
+                f"from undefined name(s) {sorted(undef)}")
+
+    for nd in daemon.nodes:
+        local = set(daemon_vars)
+        for a in nd.always:
+            undef = _expr_vars(a.init) - local - params
+            if undef:
+                raise FailSemanticError(
+                    f"daemon {daemon.name!r} node {nd.node_id}: always "
+                    f"variable {a.name!r} uses undefined name(s) {sorted(undef)}")
+            local.add(a.name)
+        timer_count = len(nd.timers)
+        for t in nd.timers:
+            undef = _expr_vars(t.delay) - local - params
+            if undef:
+                raise FailSemanticError(
+                    f"daemon {daemon.name!r} node {nd.node_id}: timer "
+                    f"{t.name!r} uses undefined name(s) {sorted(undef)}")
+        for tr in nd.transitions:
+            if isinstance(tr.trigger, ast.TimerTrigger) and timer_count == 0:
+                raise FailSemanticError(
+                    f"daemon {daemon.name!r} node {nd.node_id}: 'timer' "
+                    f"trigger but no timer declared in this node",
+                    line=tr.line)
+            if tr.guard is not None:
+                undef = _expr_vars(tr.guard) - local - params
+                if undef:
+                    raise FailSemanticError(
+                        f"daemon {daemon.name!r} node {nd.node_id}: guard "
+                        f"uses undefined name(s) {sorted(undef)}", line=tr.line)
+            for action in tr.actions:
+                if isinstance(action, ast.GotoAction):
+                    if action.node not in node_set:
+                        raise FailSemanticError(
+                            f"daemon {daemon.name!r} node {nd.node_id}: goto "
+                            f"{action.node} targets a nonexistent node",
+                            line=tr.line)
+                elif isinstance(action, ast.AssignAction):
+                    if action.name not in daemon_vars:
+                        raise FailSemanticError(
+                            f"daemon {daemon.name!r} node {nd.node_id}: "
+                            f"assignment to undeclared variable "
+                            f"{action.name!r}", line=tr.line)
+                    undef = _expr_vars(action.expr) - local - params
+                    if undef:
+                        raise FailSemanticError(
+                            f"daemon {daemon.name!r} node {nd.node_id}: "
+                            f"assignment uses undefined name(s) "
+                            f"{sorted(undef)}", line=tr.line)
+                elif isinstance(action, ast.SendAction):
+                    if isinstance(action.dest, ast.DestIndex):
+                        undef = _expr_vars(action.dest.index) - local - params
+                        if undef:
+                            raise FailSemanticError(
+                                f"daemon {daemon.name!r} node {nd.node_id}: "
+                                f"destination index uses undefined name(s) "
+                                f"{sorted(undef)}", line=tr.line)
+
+
+def check_program(program: ast.Program, params: Iterable[str] = ()) -> None:
+    """Validate a whole scenario program."""
+    names = [d.name for d in program.daemons]
+    dupes = {n for n in names if names.count(n) > 1}
+    if dupes:
+        raise FailSemanticError(f"duplicate daemon definition(s) {sorted(dupes)}")
+    for d in program.daemons:
+        check_daemon(d, params)
+    known = set(names)
+    for directive in program.deploy:
+        if directive.daemon not in known:
+            raise FailSemanticError(
+                f"deploy: instance {directive.instance!r} references "
+                f"unknown daemon {directive.daemon!r}")

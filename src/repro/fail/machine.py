@@ -1,0 +1,251 @@
+"""Runtime for compiled FAIL state machines.
+
+A :class:`Machine` interprets one daemon definition for one instance:
+it tracks the current node, daemon variables, node-entry (``always``)
+variables and the node timer, and turns delivered events into actions
+through a :class:`MachineContext` (implemented by
+:class:`repro.fail.daemon.FailDaemon`).
+
+Determinism: ``FAIL_RANDOM`` draws from the context RNG (the engine's
+seeded stream); transition matching is first-match in source order, as
+in the paper's listings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.fail.lang import ast
+from repro.fail.lang.errors import FailSemanticError
+
+# Event tuples delivered to Machine.handle():
+#   ("timer", entry_gen)
+#   ("msg", name, sender_instance)
+#   ("onload",) / ("onexit",) / ("onerror",)
+#   ("before", func_name, resume_callback_owner)
+
+
+class MachineContext:
+    """What a machine needs from its host daemon (duck-typed)."""
+
+    rng: Any
+
+    def send_msg(self, msg: str, dest_instance: str) -> None:
+        raise NotImplementedError
+
+    def resolve_dest(self, dest: ast.Dest, env: Dict[str, int],
+                     sender: Optional[str]) -> str:
+        raise NotImplementedError
+
+    def act_halt(self) -> None:
+        raise NotImplementedError
+
+    def act_stop(self) -> None:
+        raise NotImplementedError
+
+    def act_continue(self) -> None:
+        raise NotImplementedError
+
+    def arm_timer(self, delay: float, entry_gen: int) -> None:
+        raise NotImplementedError
+
+    def node_entered(self, node: ast.NodeDef) -> None:
+        """Hook for breakpoint (re)arming."""
+        raise NotImplementedError
+
+
+def _truthy(value: int) -> bool:
+    return bool(value)
+
+
+def eval_expr(expr: ast.Expr, env: Dict[str, int], rng, reader=None) -> int:
+    """Evaluate a FAIL expression to an int (booleans are 0/1).
+
+    ``reader`` resolves ``FAIL_READ(name)`` against the controlled
+    application (the paper's planned variable-inspection feature);
+    without one, reads evaluate to 0.
+    """
+    if isinstance(expr, ast.Num):
+        return expr.value
+    if isinstance(expr, ast.Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise FailSemanticError(f"undefined variable {expr.name!r} at runtime")
+    if isinstance(expr, ast.ReadCall):
+        if reader is None:
+            return 0
+        return int(reader(expr.name))
+    if isinstance(expr, ast.RandCall):
+        lo = eval_expr(expr.lo, env, rng, reader)
+        hi = eval_expr(expr.hi, env, rng, reader)
+        if hi < lo:
+            lo, hi = hi, lo
+        return rng.randint(lo, hi)      # bounds inclusive, like the paper
+    if isinstance(expr, ast.UnOp):
+        val = eval_expr(expr.operand, env, rng, reader)
+        if expr.op == "-":
+            return -val
+        if expr.op == "!":
+            return 0 if _truthy(val) else 1
+        raise FailSemanticError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, ast.BinOp):
+        op = expr.op
+        if op == "&&":
+            return 1 if (_truthy(eval_expr(expr.left, env, rng, reader))
+                         and _truthy(eval_expr(expr.right, env, rng, reader))) else 0
+        if op == "||":
+            return 1 if (_truthy(eval_expr(expr.left, env, rng, reader))
+                         or _truthy(eval_expr(expr.right, env, rng, reader))) else 0
+        lhs = eval_expr(expr.left, env, rng, reader)
+        rhs = eval_expr(expr.right, env, rng, reader)
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            if rhs == 0:
+                raise FailSemanticError("division by zero in FAIL expression")
+            return int(lhs / rhs)
+        if op == "%":
+            if rhs == 0:
+                raise FailSemanticError("modulo by zero in FAIL expression")
+            return lhs % rhs
+        if op == "==":
+            return 1 if lhs == rhs else 0
+        if op == "<>":
+            return 1 if lhs != rhs else 0
+        if op == "<":
+            return 1 if lhs < rhs else 0
+        if op == "<=":
+            return 1 if lhs <= rhs else 0
+        if op == ">":
+            return 1 if lhs > rhs else 0
+        if op == ">=":
+            return 1 if lhs >= rhs else 0
+        raise FailSemanticError(f"unknown operator {op!r}")
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+class Machine:
+    """One executing instance of a FAIL daemon definition."""
+
+    def __init__(self, daemon: ast.DaemonDef, params: Dict[str, int],
+                 ctx: MachineContext, instance: str):
+        self.daemon = daemon
+        self.params = dict(params)
+        self.ctx = ctx
+        self.instance = instance
+        self.vars: Dict[str, int] = {}
+        self.always_vars: Dict[str, int] = {}
+        self.entry_gen = 0
+        self.current: Optional[ast.NodeDef] = None
+        base_env = dict(self.params)
+        reader = getattr(ctx, "read_app_var", None)
+        for decl in daemon.variables:
+            self.vars[decl.name] = eval_expr(decl.init, {**base_env, **self.vars},
+                                             ctx.rng, reader)
+        self.enter_node(daemon.start_node)
+
+    @property
+    def _reader(self):
+        return getattr(self.ctx, "read_app_var", None)
+
+    # -- environment -------------------------------------------------------
+    def env(self) -> Dict[str, int]:
+        out = dict(self.params)
+        out.update(self.vars)
+        out.update(self.always_vars)
+        return out
+
+    @property
+    def node_id(self) -> int:
+        return self.current.node_id if self.current is not None else -1
+
+    # -- node transitions -----------------------------------------------------
+    def enter_node(self, node_id: int) -> None:
+        """Enter ``node_id`` (a self-goto still re-enters): re-evaluate
+        ``always`` variables, re-arm timers, re-arm breakpoints."""
+        node = self.daemon.node(node_id)
+        self.current = node
+        self.entry_gen += 1
+        self.always_vars = {}
+        for decl in node.always:
+            self.always_vars[decl.name] = eval_expr(decl.init, self.env(),
+                                                    self.ctx.rng, self._reader)
+        for tdecl in node.timers:
+            delay = eval_expr(tdecl.delay, self.env(), self.ctx.rng,
+                              self._reader)
+            self.ctx.arm_timer(float(delay), self.entry_gen)
+        self.ctx.node_entered(node)
+
+    # -- event handling -----------------------------------------------------------
+    def _matches(self, trigger: ast.Trigger, event: Tuple) -> bool:
+        kind = event[0]
+        if kind == "timer":
+            return isinstance(trigger, ast.TimerTrigger)
+        if kind == "msg":
+            return isinstance(trigger, ast.MsgTrigger) and trigger.name == event[1]
+        if kind == "onload":
+            return isinstance(trigger, ast.OnLoad)
+        if kind == "onexit":
+            return isinstance(trigger, ast.OnExit)
+        if kind == "onerror":
+            return isinstance(trigger, ast.OnError)
+        if kind == "before":
+            return isinstance(trigger, ast.Before) and trigger.func == event[1]
+        return False
+
+    def handle(self, event: Tuple, bp_controller=None) -> bool:
+        """Deliver one event; returns True if a transition fired.
+
+        ``bp_controller`` (for breakpoint events) is an object with
+        ``consume()``/``consumed`` used by halt/stop/continue so the
+        host daemon knows whether to auto-resume the paused process.
+        """
+        if event[0] == "timer" and event[1] != self.entry_gen:
+            return False                    # stale timer from a left node
+        sender = event[2] if event[0] == "msg" else None
+        for tr in self.current.transitions:
+            if not self._matches(tr.trigger, event):
+                continue
+            if tr.guard is not None and not _truthy(
+                    eval_expr(tr.guard, self.env(), self.ctx.rng,
+                              self._reader)):
+                continue
+            self._run_actions(tr, sender, bp_controller)
+            return True
+        return False
+
+    def _run_actions(self, tr: ast.Transition, sender: Optional[str],
+                     bp_controller) -> None:
+        goto_target: Optional[int] = None
+        for action in tr.actions:
+            if isinstance(action, ast.SendAction):
+                dest = self.ctx.resolve_dest(action.dest, self.env(), sender)
+                self.ctx.send_msg(action.msg, dest)
+            elif isinstance(action, ast.GotoAction):
+                goto_target = action.node
+            elif isinstance(action, ast.HaltAction):
+                if bp_controller is not None:
+                    bp_controller.consume()
+                self.ctx.act_halt()
+            elif isinstance(action, ast.StopAction):
+                self.ctx.act_stop()
+            elif isinstance(action, ast.ContinueAction):
+                if bp_controller is not None:
+                    bp_controller.consume_and_release()
+                self.ctx.act_continue()
+            elif isinstance(action, ast.AssignAction):
+                self.vars[action.name] = eval_expr(action.expr, self.env(),
+                                                   self.ctx.rng, self._reader)
+            else:  # pragma: no cover - parser precludes this
+                raise TypeError(f"unknown action {action!r}")
+        if goto_target is not None:
+            self.enter_node(goto_target)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Machine {self.instance} daemon={self.daemon.name} "
+                f"node={self.node_id} vars={self.vars}>")

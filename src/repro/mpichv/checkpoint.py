@@ -1,0 +1,80 @@
+"""Checkpoint images and node-local checkpoint storage.
+
+Stands in for BLCR/Condor/libckpt (paper §3): an image captures the
+whole MPI process state — for our restartable applications that is the
+deep-copied ``state`` dict — plus the Chandy-Lamport channel state
+(the logged in-transit messages).
+
+Node-local storage models the local disk the forked clone writes to:
+it *survives process death* (it lives on the Node, not the process),
+which is what makes same-node restarts fast ("all MPI processes
+restart from the local checkpoint stored on the disk if it exists").
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.mpi.message import AppMessage
+
+
+@dataclass
+class CheckpointImage:
+    """One rank's checkpoint for one wave."""
+
+    rank: int
+    wave: int
+    state: Any
+    logs: List[AppMessage] = field(default_factory=list)
+    img_size: int = 0
+    complete: bool = False      # logging finished (all peer markers seen)
+
+    def snapshot_of(self) -> "CheckpointImage":
+        """An independent deep copy (what a fork would capture)."""
+        return CheckpointImage(
+            rank=self.rank,
+            wave=self.wave,
+            state=copy.deepcopy(self.state),
+            logs=list(self.logs),
+            img_size=self.img_size,
+            complete=self.complete,
+        )
+
+
+class LocalCkptStore:
+    """Per-node local checkpoint files, two-slot alternation.
+
+    Mirrors the server-side policy ("two files alternatively"): at most
+    the two most recent waves per rank are kept; a restart may only use
+    a wave the scheduler committed globally.
+    """
+
+    def __init__(self) -> None:
+        self._images: Dict[int, Dict[int, CheckpointImage]] = {}
+
+    def store(self, img: CheckpointImage) -> None:
+        per_rank = self._images.setdefault(img.rank, {})
+        per_rank[img.wave] = img
+        # two-slot alternation: drop everything but the newest two
+        for wave in sorted(per_rank)[:-2]:
+            del per_rank[wave]
+
+    def load(self, rank: int, wave: int) -> Optional[CheckpointImage]:
+        return self._images.get(rank, {}).get(wave)
+
+    def waves_for(self, rank: int) -> List[int]:
+        return sorted(self._images.get(rank, {}))
+
+    def clear(self) -> None:
+        self._images.clear()
+
+
+def node_local_store(node) -> LocalCkptStore:
+    """The node's local checkpoint store, created on first use."""
+    store = getattr(node, "_ckpt_store", None)
+    if store is None:
+        store = LocalCkptStore()
+        node._ckpt_store = store
+    return store

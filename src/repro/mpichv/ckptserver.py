@@ -1,0 +1,145 @@
+"""The checkpoint server (paper §3, "Checkpoint server and checkpoint
+mechanism").
+
+Each server owns a disk whose bandwidth serializes image ingestion —
+the reason a checkpoint wave takes several seconds and the lever behind
+the Fig. 6 discussion (bigger per-process images at small scale).
+Storage follows the two-file alternation policy: at most the newest two
+waves per rank are kept, and a wave becomes restorable only when the
+scheduler commits it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cluster.unixproc import UnixProcess
+from repro.mpichv.checkpoint import CheckpointImage
+from repro.mpichv import wire
+from repro.simkernel.store import Store, StoreClosed
+
+
+class CkptServerState:
+    """Shared state of one checkpoint server process."""
+
+    def __init__(self) -> None:
+        #: wave -> rank -> CheckpointImage
+        self.images: Dict[int, Dict[int, CheckpointImage]] = {}
+        self.committed_wave: Optional[int] = None
+        #: log batches that arrived before their image (the message
+        #: connection can outrun the pipelined data connection)
+        self._early_logs: Dict[tuple, list] = {}
+
+    def store_image(self, img: CheckpointImage) -> None:
+        early = self._early_logs.pop((img.wave, img.rank), None)
+        if early is not None:
+            img.logs.extend(early)
+            img.complete = True
+        self.images.setdefault(img.wave, {})[img.rank] = img
+        # two-file alternation per rank: keep the newest two waves only
+        waves = sorted(self.images)
+        for wave in waves[:-2]:
+            del self.images[wave]
+
+    def append_logs(self, rank: int, wave: int, logs) -> None:
+        img = self.images.get(wave, {}).get(rank)
+        if img is not None:
+            img.logs.extend(logs)
+            img.complete = True
+        else:
+            self._early_logs.setdefault((wave, rank), []).extend(logs)
+
+    def commit(self, wave: int) -> None:
+        self.committed_wave = wave
+
+    def lookup(self, rank: int, wave: Optional[int]) -> Optional[CheckpointImage]:
+        if wave is None:
+            wave = self.committed_wave
+        if wave is None:
+            return None
+        return self.images.get(wave, {}).get(rank)
+
+
+def ckpt_server_main(proc: UnixProcess, config, server_index: int):
+    """Main generator of a checkpoint server process."""
+    engine = proc.engine
+    timing = config.timing
+    state = CkptServerState()
+    proc.tags["ckpt_state"] = state
+    listener = proc.node.listen(config.ckpt_server_port_base + server_index, owner=proc)
+
+    #: FIFO disk queue: (nbytes, fn) — fn runs when the disk I/O ends
+    disk_q: Store = Store(engine, name=f"ckptsrv{server_index}.disk")
+
+    def disk_writer():
+        while True:
+            try:
+                nbytes, fn = yield disk_q.get()
+            except StoreClosed:
+                return
+            if nbytes > 0:
+                yield engine.timeout(nbytes / timing.server_disk_bw)
+            fn()
+
+    proc.spawn_thread(disk_writer(), name=f"ckptsrv{server_index}.disk")
+
+    def handle_conn(sock):
+        while True:
+            try:
+                msg = yield sock.recv()
+            except StoreClosed:
+                return
+            if isinstance(msg, wire.CkptStore):
+                img = CheckpointImage(rank=msg.rank, wave=msg.wave,
+                                      state=msg.state, logs=list(msg.logs),
+                                      img_size=msg.img_size)
+
+                def _stored(img=img, sock=sock):
+                    state.store_image(img)
+                    engine.log("ckpt_stored", rank=img.rank, wave=img.wave,
+                               server=server_index)
+                    if not sock.closed and sock.peer_alive:
+                        sock.send(wire.CkptStoredAck(rank=img.rank, wave=img.wave))
+
+                disk_q.put((msg.img_size, _stored))
+            elif isinstance(msg, wire.CkptLogAppend):
+
+                def _logged(msg=msg, sock=sock):
+                    state.append_logs(msg.rank, msg.wave, msg.logs)
+                    if not sock.closed and sock.peer_alive:
+                        sock.send(wire.CkptStoredAck(rank=msg.rank, wave=msg.wave))
+
+                disk_q.put((msg.size, _logged))
+            elif isinstance(msg, wire.FetchReq):
+
+                def _read(msg=msg, sock=sock):
+                    img = state.lookup(msg.rank, msg.wave)
+                    if img is None:
+                        resp = wire.FetchResp(rank=msg.rank, wave=None, state=None)
+                    else:
+                        snap = img.snapshot_of()
+                        resp = wire.FetchResp(rank=msg.rank, wave=snap.wave,
+                                              state=snap.state, logs=snap.logs,
+                                              img_size=snap.img_size)
+                    if not sock.closed and sock.peer_alive:
+                        sock.send(resp)
+
+                img = state.lookup(msg.rank, msg.wave)
+                read_bytes = img.img_size if img is not None else 0
+                disk_q.put((read_bytes, _read))
+            elif isinstance(msg, wire.WaveCommit):
+                state.commit(msg.wave)
+            elif isinstance(msg, wire.Shutdown):
+                # End of experiment: take the whole server process down
+                # (asynchronously — we are one of its threads).
+                engine.call_later(0.0, proc.kill)
+                return
+
+    # accept loop
+    while True:
+        try:
+            sock = yield listener.accept()
+        except StoreClosed:
+            return
+        proc.spawn_thread(handle_conn(sock),
+                          name=f"ckptsrv{server_index}.conn{sock.conn_id}")

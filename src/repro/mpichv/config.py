@@ -1,0 +1,122 @@
+"""Configuration and timing model for the MPICH-V stack.
+
+All durations are in simulated seconds and calibrated so that absolute
+magnitudes land in the paper's ballpark (BT-49 class B ≈ 190 s without
+faults; checkpoint wave every 30 s taking a few seconds to drain to
+the checkpoint servers; recovery in the low seconds).  EXPERIMENTS.md
+records the calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+MB = 1e6
+GB = 1e9
+
+
+@dataclass
+class TimingModel:
+    """Every latency/bandwidth knob of the simulated testbed.
+
+    The stochastic entries are (lo, hi) uniform ranges sampled from the
+    engine RNG, so runs remain reproducible per seed.
+    """
+
+    # network fabric (GigE-like)
+    net_latency: float = 1e-4
+    net_bandwidth: float = 100 * MB
+
+    # process management
+    ssh_latency: float = 0.05
+    #: daemon exec + library init before it contacts the dispatcher
+    daemon_startup: Tuple[float, float] = (0.02, 0.12)
+    #: cleanup time between receiving Terminate and exiting
+    terminate_cleanup: Tuple[float, float] = (0.3, 1.5)
+
+    # checkpointing
+    local_disk_bw: float = 40 * MB      # clone writes local image
+    server_disk_bw: float = 60 * MB     # server ingest (serialized per server)
+    ckpt_fork_pause: float = 0.02       # brief stop while fork-cloning
+
+    # failure injection (FAIL-side, see repro.fail)
+    fail_bus_latency: float = 2e-4
+    #: FCI daemon handling of an injection order (includes GDB verb cost)
+    fail_order_handling: Tuple[float, float] = (0.004, 0.04)
+    #: FCI daemon handling of a local event (onload/onexit/breakpoint)
+    fail_event_handling: Tuple[float, float] = (0.001, 0.01)
+
+    # mesh connection retry backoff (daemons waiting for peers)
+    connect_retry_initial: float = 0.05
+    connect_retry_max: float = 5.0
+
+    def uniform(self, rng, rng_range: Tuple[float, float]) -> float:
+        lo, hi = rng_range
+        return rng.uniform(lo, hi)
+
+
+@dataclass
+class VclConfig:
+    """Deployment + protocol parameters for one run."""
+
+    #: number of MPI processes (BT needs a perfect square)
+    n_procs: int = 4
+    #: machines devoted to computation (>= n_procs; spares included).
+    #: The paper uses 53 machines for BT-49.
+    n_machines: Optional[int] = None
+    #: seconds between checkpoint waves (paper: 30 s)
+    ckpt_period: float = 30.0
+    #: number of checkpoint servers (modest, as in MPICH-V deployments)
+    n_ckpt_servers: int = 2
+    #: total application memory footprint in bytes (class B model);
+    #: per-process image size = footprint / n_procs.
+    footprint: float = 1.6 * GB
+    #: reproduce the paper's dispatcher bug (True) or the fix (False)
+    bug_compat: bool = True
+    #: blocking Chandy-Lamport variant (paper §3: "The blocking
+    #: implementation uses markers to flush the communication channels
+    #: and freezes the communications during a checkpoint wave").
+    #: False = the paper's non-blocking Vcl.
+    blocking: bool = False
+    #: experiment timeout (paper: 1500 s)
+    timeout: float = 1500.0
+    #: enable checkpoint/rollback at all (False = Vdummy baseline)
+    fault_tolerant: bool = True
+    #: fault-tolerance protocol: "vcl" (coordinated Chandy-Lamport, the
+    #: paper's subject) or "v2" (pessimistic sender-based message
+    #: logging + uncoordinated checkpoints, cf. MPICH-V2 [BCH+03]).
+    protocol: str = "vcl"
+    timing: TimingModel = field(default_factory=TimingModel)
+
+    # service ports
+    dispatcher_port: int = 7000
+    scheduler_port: int = 7001
+    ckpt_server_port_base: int = 7100
+    eventlog_port: int = 7002
+    daemon_port_base: int = 6000
+
+    def __post_init__(self) -> None:
+        if self.n_machines is None:
+            # default: a handful of spares, like the paper's 53-for-49
+            self.n_machines = self.n_procs + 4
+        if self.n_machines < self.n_procs:
+            raise ValueError("need at least n_procs machines")
+        if self.n_procs < 1:
+            raise ValueError("n_procs must be >= 1")
+        if self.ckpt_period <= 0:
+            raise ValueError("ckpt_period must be positive")
+        if self.protocol not in ("vcl", "v2"):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.protocol == "v2" and self.blocking:
+            raise ValueError("blocking applies to the vcl protocol only")
+
+    @property
+    def image_size(self) -> float:
+        """Per-process checkpoint image size in bytes."""
+        return self.footprint / self.n_procs
+
+    @property
+    def n_service_nodes(self) -> int:
+        """dispatcher + scheduler + checkpoint servers"""
+        return 2 + self.n_ckpt_servers

@@ -1,0 +1,283 @@
+"""The MPICH-V dispatcher: launch, failure detection, restart.
+
+Failure detection follows the paper exactly: *"A failure is assumed
+after any unexpected socket closure"* — and since experiments kill
+tasks (not machines), the closure is observed immediately.
+
+Restart protocol (§3 + §5.3): on a failure the dispatcher orders every
+surviving communication daemon of the current execution wave to
+terminate, and relaunches a daemon on each machine as that machine
+frees up (the failed machines are free at once, the surviving ones
+when their termination acknowledgement — the socket closure — comes
+back).  Relaunched daemons register, and once all N are registered the
+dispatcher broadcasts the command map and the recovery wave is over.
+
+THE BUG (``bug_compat=True``, faithful to the paper's diagnosis):
+while a restart is in progress **and** terminations of the previous
+wave are still pending, the dispatcher attributes *any* socket closure
+to the previous wave's cleanup.  If the closed socket actually belonged
+to an already-recovered daemon of the *new* wave, that daemon's death
+goes unnoticed: its machine is never relaunched, every other daemon
+retries connecting to it forever, and the application freezes — the
+dispatcher "is confused about the state of each process and forgets to
+launch at least one computing node".
+
+The fix (``bug_compat=False``) tags each connection with its execution
+epoch, so a new-wave closure during a restart is recognised as a fresh
+failure and triggers a new restart wave.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from repro.cluster.unixproc import UnixProcess
+from repro.mpichv import wire
+from repro.mpichv.vdaemon import vdaemon_main
+from repro.simkernel.store import StoreClosed
+
+LAUNCHING = "launching"
+RUNNING = "running"
+RESTARTING = "restarting"
+DONE = "done"
+
+
+class DispatcherState:
+    """Observable dispatcher state (tests and the harness read this)."""
+
+    def __init__(self) -> None:
+        self.epoch = 0
+        self.phase = LAUNCHING
+        self.assignment: Dict[int, str] = {}       # rank -> machine name
+        self.incarnation: Dict[int, int] = {}
+        self.status: Dict[int, str] = {}           # rank -> spawning|registered
+        self.reg: Dict[int, Any] = {}              # rank -> socket (current epoch)
+        self.addrs: Dict[int, Any] = {}
+        self.proc_handles: Dict[int, Any] = {}     # rank -> UnixProcess
+        self.pending_term: Dict[int, int] = {}     # rank -> old epoch awaited
+        self.done_ranks: Set[int] = set()
+        self.last_committed: Optional[int] = None
+        self.restore_wave: Optional[int] = None
+        self.restarts = 0
+        self.bug_events = 0
+        self.failures_detected = 0
+
+
+def dispatcher_main(proc: UnixProcess, config, app_factory,
+                    machines: List[str]):
+    """Main generator of the dispatcher process."""
+    engine = proc.engine
+    cluster = proc.node.cluster
+    n = config.n_procs
+    state = DispatcherState()
+    proc.tags["disp_state"] = state
+    listener = proc.node.listen(config.dispatcher_port, owner=proc)
+    sched_conn = [None]
+
+    if len(machines) < n:
+        raise ValueError("not enough machines for the requested ranks")
+    for rank in range(n):
+        state.assignment[rank] = machines[rank]
+        state.incarnation[rank] = 0
+
+    # ------------------------------------------------------------------
+    # spawning
+    # ------------------------------------------------------------------
+    def spawn_slot(rank: int) -> None:
+        state.incarnation[rank] += 1
+        inc = state.incarnation[rank]
+        ep = state.epoch
+        state.status[rank] = "spawning"
+        machine = state.assignment[rank]
+
+        if config.fault_tolerant and config.protocol == "v2":
+            from repro.mpichv.v2daemon import v2daemon_main as daemon_entry
+        else:
+            daemon_entry = vdaemon_main
+
+        def main(p, _rank=rank, _ep=ep, _inc=inc, _entry=daemon_entry):
+            return _entry(p, config, _rank, _ep, _inc, app_factory)
+
+        def watch(up, _rank=rank, _ep=ep, _inc=inc):
+            state.proc_handles[_rank] = up
+            up.on_exit(lambda p, how: on_spawn_exit(_rank, _ep, _inc))
+
+        cluster.remote_spawn(machine, f"vdaemon.{rank}", main,
+                             tags={"rank": rank, "epoch": ep, "incarnation": inc},
+                             notify=True, done=watch)
+
+    def on_spawn_exit(rank: int, ep: int, inc: int) -> None:
+        """ssh-side observation of the launched child exiting."""
+        if state.phase == DONE:
+            return
+        if ep != state.epoch or inc != state.incarnation[rank]:
+            return                      # stale incarnation
+        if state.status.get(rank) == "registered":
+            return                      # the socket-closure path owns it
+        # Death during launch, before the argument exchange finished.
+        # Both the buggy and the fixed dispatcher handle this correctly
+        # (the paper's bug needs the daemon to be *running* already).
+        state.failures_detected += 1
+        engine.log("failure_detected", rank=rank, where="launch")
+        spawn_slot(rank)
+
+    # ------------------------------------------------------------------
+    # wave management
+    # ------------------------------------------------------------------
+    def all_registered() -> None:
+        cmd = wire.CommandMap(epoch=state.epoch, addrs=dict(state.addrs),
+                              restore_wave=state.restore_wave)
+        for sock in state.reg.values():
+            if not sock.closed:
+                sock.send(cmd)
+        prev = state.phase
+        state.phase = RUNNING
+        if prev == RESTARTING:
+            engine.log("recovery_complete", epoch=state.epoch)
+        else:
+            engine.log("app_start", epoch=state.epoch)
+
+    def initiate_restart(failed_ranks: Set[int]) -> None:
+        state.epoch += 1
+        state.restarts += 1
+        state.phase = RESTARTING
+        state.restore_wave = state.last_committed
+        state.done_ranks.clear()
+        engine.log("restart_wave", epoch=state.epoch,
+                   restore=state.restore_wave, failed=sorted(failed_ranks))
+        old_reg, state.reg = state.reg, {}
+        state.addrs = {}
+        for rank, sock in old_reg.items():
+            if rank in failed_ranks or sock.closed:
+                spawn_slot(rank)            # machine already free
+            else:
+                state.pending_term[rank] = state.epoch - 1
+                sock.send(wire.Terminate())
+        # Ranks that were mid-spawn (no socket yet) get torn down and
+        # relaunched for the new epoch — their machine must be freed
+        # before the new daemon can bind the port.
+        for rank in range(n):
+            if rank not in old_reg and rank not in failed_ranks \
+                    and rank not in state.pending_term:
+                handle = state.proc_handles.get(rank)
+                if handle is not None and handle.state.alive:
+                    handle.kill()
+                spawn_slot(rank)
+
+    def finish() -> None:
+        state.phase = DONE
+        engine.log("app_done", epoch=state.epoch)
+        for sock in state.reg.values():
+            if not sock.closed:
+                sock.send(wire.Shutdown())
+        if sched_conn[0] is not None and not sched_conn[0].closed:
+            sched_conn[0].send(wire.Shutdown())
+        engine.call_later(2.0, proc.exit)
+
+    # ------------------------------------------------------------------
+    # closure attribution — the heart of the reproduction
+    # ------------------------------------------------------------------
+    def on_closure(rank: int, ep: int, sock) -> None:
+        if state.phase == DONE:
+            return
+        if ep == state.epoch and state.reg.get(rank) is sock:
+            # a *current-wave, running* daemon's connection dropped
+            if state.phase == RESTARTING and config.bug_compat \
+                    and state.pending_term:
+                # THE PAPER'S BUG: with terminations of the previous
+                # wave outstanding, the closure is booked against that
+                # cleanup; the new-wave failure goes unnoticed and the
+                # machine is never relaunched.
+                state.bug_events += 1
+                engine.log("bug_misattribution", rank=rank, epoch=ep)
+                return
+            state.failures_detected += 1
+            engine.log("failure_detected", rank=rank, where=state.phase)
+            if config.protocol == "v2" and config.fault_tolerant:
+                # message logging: only the failed rank restarts
+                state.restarts += 1
+                del state.reg[rank]
+                engine.log("restart_wave", epoch=state.epoch, restore="v2",
+                           failed=[rank])
+                spawn_slot(rank)
+            else:
+                initiate_restart({rank})
+        else:
+            # old-epoch connection: expected termination acknowledgement
+            if state.pending_term.get(rank) == ep:
+                del state.pending_term[rank]
+                spawn_slot(rank)
+            # anything else: stale residue, correctly ignored
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    def conn_handler(sock):
+        try:
+            first = yield sock.recv()
+        except StoreClosed:
+            return
+        if isinstance(first, wire.WaveCommit):
+            # the checkpoint scheduler's commit-note connection
+            sched_conn[0] = sock
+            msg = first
+            while True:
+                if isinstance(msg, wire.WaveCommit):
+                    state.last_committed = msg.wave
+                try:
+                    msg = yield sock.recv()
+                except StoreClosed:
+                    return
+        if not isinstance(first, wire.Register):
+            sock.close()
+            return
+        msg = first
+        rank, ep, inc = msg.rank, msg.epoch, msg.incarnation
+        if state.phase == DONE or ep != state.epoch \
+                or inc != state.incarnation.get(rank):
+            sock.close()                 # stale or late registration
+            return
+        state.reg[rank] = sock
+        state.addrs[rank] = msg.addr
+        state.status[rank] = "registered"
+        sock.send(wire.RegisterAck(rank=rank))
+        if state.phase == RUNNING and config.protocol == "v2":
+            # V2 single-rank restart: the rest of the system never
+            # stopped; hand the newcomer its command map directly.
+            sock.send(wire.CommandMap(epoch=state.epoch,
+                                      addrs=dict(state.addrs),
+                                      restore_wave=None))
+            engine.log("recovery_complete", epoch=state.epoch, rank=rank,
+                       protocol="v2")
+        elif len(state.reg) == n and not state.pending_term:
+            all_registered()
+        # read loop: Done notifications until closure
+        while True:
+            try:
+                msg = yield sock.recv()
+            except StoreClosed:
+                on_closure(rank, ep, sock)
+                return
+            if isinstance(msg, wire.Done):
+                if state.phase == RUNNING and ep == state.epoch:
+                    state.done_ranks.add(msg.rank)
+                    if len(state.done_ranks) == n:
+                        finish()
+
+    def accept_loop():
+        while True:
+            try:
+                sock = yield listener.accept()
+            except StoreClosed:
+                return
+            proc.spawn_thread(conn_handler(sock),
+                              name=f"disp.conn{sock.conn_id}")
+
+    proc.spawn_thread(accept_loop(), name="disp.accept")
+
+    # initial launch
+    engine.log("launch", n_procs=n)
+    for rank in range(n):
+        spawn_slot(rank)
+
+    yield engine.event(name="dispatcher.forever")

@@ -1,0 +1,141 @@
+"""Top-level wiring: build a cluster, deploy MPICH-V, run an app.
+
+A :class:`VclRuntime` owns one complete deployment (Fig. 2b of the
+paper): compute machines ``m0..m{M-1}``, the dispatcher on ``svc0``,
+the checkpoint scheduler on ``svc1`` and the checkpoint servers on
+``svc2..``.  The runtime is also what the FAIL-MPI platform attaches
+to (it injects faults into the ``vdaemon.*`` processes spawned on the
+compute machines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.analysis.classify import Outcome, RunVerdict, classify_run
+from repro.analysis.traces import Trace
+from repro.cluster.cluster import Cluster
+from repro.mpichv.ckptserver import ckpt_server_main
+from repro.mpichv.config import VclConfig
+from repro.mpichv.dispatcher import dispatcher_main
+from repro.mpichv.scheduler import scheduler_main
+from repro.simkernel.engine import Engine
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs from a single run."""
+
+    verdict: RunVerdict
+    trace: Trace
+    sim_time: float
+    restarts: int
+    bug_events: int
+    failures_detected: int
+    waves_committed: int
+    events_processed: int
+
+    @property
+    def outcome(self) -> Outcome:
+        return self.verdict.outcome
+
+    @property
+    def exec_time(self) -> Optional[float]:
+        return self.verdict.exec_time
+
+
+class VclRuntime:
+    """One deployment of the MPICH-V(cl) environment."""
+
+    def __init__(self, config: VclConfig,
+                 app_factory: Callable,
+                 seed: int = 0,
+                 keep_trace: bool = True):
+        self.config = config
+        self.trace = Trace(keep=keep_trace)
+        self.engine = Engine(seed=seed, trace=self.trace)
+        self.cluster = Cluster(
+            self.engine, config.n_machines,
+            latency=config.timing.net_latency,
+            bandwidth=config.timing.net_bandwidth,
+            name_prefix="m",
+        )
+        for i in range(config.n_service_nodes):
+            self.cluster.add_node(f"svc{i}")
+        self.machines: List[str] = [f"m{i}" for i in range(config.n_machines)]
+        self.app_factory = app_factory
+        self._deployed = False
+        self.dispatcher_proc = None
+        self.scheduler_proc = None
+        self.eventlog_proc = None
+        self.server_procs: List[Any] = []
+
+    # -- deployment -----------------------------------------------------------
+    def deploy(self) -> None:
+        """Spawn the service processes (idempotent)."""
+        if self._deployed:
+            return
+        self._deployed = True
+        cfg = self.config
+        if cfg.fault_tolerant:
+            for i in range(cfg.n_ckpt_servers):
+                node = self.cluster.node(f"svc{2 + i}")
+                proc = node.spawn(
+                    f"ckptserver.{i}",
+                    lambda p, i=i: ckpt_server_main(p, cfg, i),
+                    notify=False)
+                self.server_procs.append(proc)
+            if cfg.protocol == "v2":
+                # uncoordinated checkpoints need no scheduler; the svc1
+                # slot hosts the stable event logger instead
+                from repro.mpichv.eventlog import eventlog_main
+                self.eventlog_proc = self.cluster.node("svc1").spawn(
+                    "eventlog", lambda p: eventlog_main(p, cfg), notify=False)
+            else:
+                self.scheduler_proc = self.cluster.node("svc1").spawn(
+                    "scheduler", lambda p: scheduler_main(p, cfg),
+                    notify=False)
+        self.dispatcher_proc = self.cluster.node("svc0").spawn(
+            "dispatcher",
+            lambda p: dispatcher_main(p, cfg, self.app_factory, self.machines),
+            notify=False)
+
+    @property
+    def dispatcher_state(self):
+        return self.dispatcher_proc.tags.get("disp_state") if self.dispatcher_proc else None
+
+    @property
+    def scheduler_state(self):
+        return self.scheduler_proc.tags.get("sched_state") if self.scheduler_proc else None
+
+    # -- execution --------------------------------------------------------------
+    def run(self, timeout: Optional[float] = None) -> RunResult:
+        """Deploy (if needed) and run until completion or ``timeout``.
+
+        As in the paper, a run that has not finalized by the timeout is
+        killed and classified from its trace.
+        """
+        timeout = timeout if timeout is not None else self.config.timeout
+        self.deploy()
+
+        # Stop the engine the moment the application finalizes so the
+        # measured execution time is the app_done instant, not whatever
+        # cleanup runs afterwards.
+        self.trace.subscribe(
+            lambda rec: self.engine.stop() if rec.kind == "app_done" else None)
+        self.engine.run(until=timeout)
+
+        verdict = classify_run(self.trace, timeout)
+        disp = self.dispatcher_state
+        sched = self.scheduler_state
+        return RunResult(
+            verdict=verdict,
+            trace=self.trace,
+            sim_time=self.engine.now,
+            restarts=disp.restarts if disp else 0,
+            bug_events=disp.bug_events if disp else 0,
+            failures_detected=disp.failures_detected if disp else 0,
+            waves_committed=sched.waves_committed if sched else 0,
+            events_processed=self.engine.events_processed,
+        )

@@ -1,0 +1,143 @@
+"""The checkpoint scheduler (paper §3, "Checkpoint Scheduler").
+
+Sends a marker wave to every MPI process on a fixed period (30 s in
+the paper), waits for every rank's acknowledgement before declaring the
+wave complete, and only then may a new wave start.  The tick grid is
+anchored to absolute time (t = k·period), which is what creates the
+phase interplay between faults and waves behind the paper's Fig. 5
+"every 45 s" anomaly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.cluster.unixproc import UnixProcess
+from repro.mpichv import wire
+from repro.simkernel.store import StoreClosed
+
+
+class SchedulerState:
+    """Introspectable state of the scheduler (tests reach in here)."""
+
+    def __init__(self) -> None:
+        self.wave_id = 0
+        self.in_progress = False
+        self.acks: Set[int] = set()
+        self.committed_wave: Optional[int] = None
+        #: rank -> socket of currently-connected daemons
+        self.conns: Dict[int, object] = {}
+        self.waves_started = 0
+        self.waves_committed = 0
+        self.waves_aborted = 0
+
+
+def scheduler_main(proc: UnixProcess, config):
+    """Main generator of the checkpoint scheduler process."""
+    engine = proc.engine
+    state = SchedulerState()
+    proc.tags["sched_state"] = state
+    n = config.n_procs
+    listener = proc.node.listen(config.scheduler_port, owner=proc)
+
+    server_socks = []
+    dispatcher_sock = [None]
+
+    def connect_services():
+        # servers
+        for i in range(config.n_ckpt_servers):
+            addr = proc.node.cluster.node(f"svc{2 + i}").addr(
+                config.ckpt_server_port_base + i)
+            while True:
+                try:
+                    sock = yield proc.node.connect(addr, owner=proc)
+                    break
+                except Exception:
+                    yield engine.timeout(0.05)
+            server_socks.append(sock)
+        # dispatcher (for commit notes)
+        addr = proc.node.cluster.node("svc0").addr(config.dispatcher_port)
+        while True:
+            try:
+                sock = yield proc.node.connect(addr, owner=proc)
+                break
+            except Exception:
+                yield engine.timeout(0.05)
+        dispatcher_sock[0] = sock
+
+    proc.spawn_thread(connect_services(), name="sched.connect")
+
+    def abort_wave(reason: str) -> None:
+        if state.in_progress:
+            state.in_progress = False
+            state.acks.clear()
+            state.waves_aborted += 1
+            engine.log("ckpt_wave_abort", wave=state.wave_id, reason=reason)
+
+    def commit_wave() -> None:
+        state.in_progress = False
+        state.committed_wave = state.wave_id
+        state.waves_committed += 1
+        engine.log("ckpt_wave_complete", wave=state.wave_id)
+        note = wire.WaveCommit(wave=state.wave_id)
+        for sock in server_socks:
+            if not sock.closed:
+                sock.send(note)
+        disp = dispatcher_sock[0]
+        if disp is not None and not disp.closed:
+            disp.send(note)
+
+    def handle_daemon(sock):
+        rank = None
+        while True:
+            try:
+                msg = yield sock.recv()
+            except StoreClosed:
+                if rank is not None and state.conns.get(rank) is sock:
+                    del state.conns[rank]
+                    # A participant vanished: the wave cannot complete.
+                    abort_wave(f"rank {rank} disconnected")
+                return
+            if isinstance(msg, wire.SchedHello):
+                rank = msg.rank
+                state.conns[rank] = sock
+            elif isinstance(msg, wire.SchedAck):
+                if state.in_progress and msg.wave == state.wave_id:
+                    state.acks.add(msg.rank)
+                    if len(state.acks) == n:
+                        commit_wave()
+            elif isinstance(msg, wire.Shutdown):
+                engine.call_later(0.0, proc.kill)
+                return
+
+    def accept_loop():
+        while True:
+            try:
+                sock = yield listener.accept()
+            except StoreClosed:
+                return
+            proc.spawn_thread(handle_daemon(sock), name=f"sched.conn{sock.conn_id}")
+
+    proc.spawn_thread(accept_loop(), name="sched.accept")
+
+    # --- the tick grid: absolute multiples of ckpt_period ------------------
+    tick = 1
+    while True:
+        next_t = tick * config.ckpt_period
+        delay = next_t - engine.now
+        if delay > 0:
+            yield engine.timeout(delay)
+        tick += 1
+        if state.in_progress:
+            continue            # previous wave still draining
+        if len(state.conns) < n:
+            continue            # system not stable (launch or recovery)
+        state.wave_id += 1
+        state.in_progress = True
+        state.acks = set()
+        state.waves_started += 1
+        engine.log("ckpt_wave_start", wave=state.wave_id)
+        marker = wire.Marker(wave=state.wave_id, src_rank=-1)
+        for sock in list(state.conns.values()):
+            if not sock.closed:
+                sock.send(marker)

@@ -1,0 +1,423 @@
+"""The V2 communication daemon: pessimistic sender-based message
+logging with uncoordinated checkpointing (MPICH-V2, [BCH+03] in the
+paper's related work; the ``V2`` box of its Fig. 2a).
+
+Contrast with Vcl:
+
+* checkpoints are **per-rank and independent** (no marker waves, no
+  checkpoint scheduler); each rank snapshots on its own staggered
+  timer;
+* every outbound message is kept in the **sender's volatile log**
+  (pruned when the receiver's checkpoint covers it);
+* every delivery is recorded at a **stable event logger** *before* the
+  message reaches the application — the pessimistic property that
+  makes single-failure recovery orphan-free;
+* on a failure **only the failed rank restarts**: it reloads its own
+  latest image, fetches its post-snapshot delivery history from the
+  event logger, asks each peer to re-send logged messages, and
+  re-executes deterministically — survivors keep running, deduplicate
+  the re-sent traffic by sequence number, and never roll back.
+
+Known (and faithful) limitation: with *simultaneous* failures the
+senders' volatile logs needed by one recovering rank may have died
+with another — recovery can then stall, which is precisely the kind of
+behaviour the FAIL-MPI scenarios of the paper are designed to expose.
+
+Checkpoint-safety bookkeeping lives inside the application state dict
+(``_v2_delivered``, ``_v2_sent``, ``_v2_pos``), written by the daemon
+in the same atomic step as the delivery/send it describes, so every
+snapshot is internally consistent.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.unixproc import UnixProcess
+from repro.mpi.endpoint import LocalDelivery, MpiEndpoint
+from repro.mpi.message import AppMessage
+from repro.mpichv import wire
+from repro.mpichv.checkpoint import CheckpointImage, node_local_store
+from repro.mpichv.vdaemon import connect_retry
+from repro.simkernel.store import StoreClosed
+
+DELIVERED = "_v2_delivered"
+SENT = "_v2_sent"
+POS = "_v2_pos"
+
+
+class V2Daemon:
+    """State + threads of one V2 communication daemon instance."""
+
+    def __init__(self, proc: UnixProcess, config, rank: int, epoch: int,
+                 incarnation: int, app_factory: Callable[[MpiEndpoint], Any]):
+        self.proc = proc
+        self.engine = proc.engine
+        self.config = config
+        self.timing = config.timing
+        self.rank = rank
+        self.epoch = epoch
+        self.incarnation = incarnation
+        self.app_factory = app_factory
+        self.n = config.n_procs
+
+        self.app_state: dict = {}
+        self._init_state_keys()
+        self.delivery = LocalDelivery(self.engine, self.app_state,
+                                      name=f"v2inbox.r{rank}")
+        self.endpoint: Optional[MpiEndpoint] = None
+
+        self.peers: Dict[int, Any] = {}
+        self.mesh_ready = self.engine.event(name=f"v2mesh.r{rank}")
+
+        #: sender-side volatile logs: dst -> deque of (seq, AppMessage)
+        self.send_log: Dict[int, deque] = {r: deque() for r in range(self.n)}
+
+        #: pessimistic delivery pipeline: held messages awaiting their
+        #: event-logger ack, in log order
+        self.held: deque = deque()          # (pos, src, src_seq, AppMessage)
+        self.next_pos_to_log = None         # filled from state at start
+
+        #: replay mode: delivery events to reproduce, staged messages
+        self.replaying = False
+        self.replay_events: deque = deque()            # (src, src_seq)
+        self.staging: Dict[Tuple[int, int], AppMessage] = {}
+
+        self.ckpt_counter = 0
+        self.disp_sock = None
+        self.ckpt_sock = None
+        self.evlog_sock = None
+        self.terminating = False
+
+    def _init_state_keys(self) -> None:
+        self.app_state.setdefault(DELIVERED, {r: 0 for r in range(self.n)})
+        self.app_state.setdefault(SENT, {r: 0 for r in range(self.n)})
+        self.app_state.setdefault(POS, 0)
+
+    # ------------------------------------------------------------------
+    # transport interface used by MpiEndpoint
+    # ------------------------------------------------------------------
+    def app_send(self, msg: AppMessage) -> None:
+        if msg.dst == self.rank:
+            # self-sends need no fault-tolerance plumbing
+            self.delivery.deliver(msg)
+            return
+        sent = self.app_state[SENT]
+        seq = sent[msg.dst] + 1
+        sent[msg.dst] = seq
+        self.send_log[msg.dst].append((seq, msg))
+        sock = self.peers.get(msg.dst)
+        if sock is not None and not sock.closed:
+            sock.send(wire.V2Data(app=msg, seq=seq))
+        # else: peer down — the log holds it until the new incarnation
+        # dials in and requests a resend.
+
+    def app_inbox_get(self):
+        return self.delivery.doorbell()
+
+    def app_done(self) -> None:
+        if self.disp_sock is not None and not self.disp_sock.closed:
+            self.disp_sock.send(wire.Done(rank=self.rank))
+
+    # ------------------------------------------------------------------
+    # inbound data path (pessimistic logging)
+    # ------------------------------------------------------------------
+    def on_data(self, src: int, seq: int, msg: AppMessage) -> None:
+        delivered = self.app_state[DELIVERED]
+        if seq <= delivered.get(src, 0):
+            return                      # duplicate (re-sent/re-executed)
+        if self.replaying:
+            self.staging[(src, seq)] = msg
+            self._drain_replay()
+            return
+        self._log_then_deliver(src, seq, msg)
+
+    def _log_then_deliver(self, src: int, seq: int, msg: AppMessage) -> None:
+        pos = self.next_pos_to_log + 1
+        self.next_pos_to_log = pos
+        self.held.append((pos, src, seq, msg))
+        if self.evlog_sock is not None and not self.evlog_sock.closed:
+            self.evlog_sock.send(wire.EvLog(rank=self.rank, pos=pos,
+                                            src=src, src_seq=seq))
+
+    def on_evlog_ack(self, pos: int) -> None:
+        # acks arrive in order (FIFO connection); deliver the head
+        while self.held and self.held[0][0] <= pos:
+            _pos, src, seq, msg = self.held.popleft()
+            self._deliver_now(src, seq, msg)
+
+    def _deliver_now(self, src: int, seq: int, msg: AppMessage) -> None:
+        # atomic with the buffer append: counters are in the same state
+        self.app_state[DELIVERED][src] = seq
+        self.app_state[POS] += 1
+        self.delivery.deliver(msg)
+
+    # ------------------------------------------------------------------
+    # replay (restart of this rank only)
+    # ------------------------------------------------------------------
+    def begin_replay(self, events: List[Tuple[int, int]]) -> None:
+        self.replay_events = deque(events)
+        self.replaying = bool(self.replay_events)
+        if self.replaying:
+            self.engine.log("v2_replay_start", rank=self.rank,
+                            events=len(self.replay_events))
+        self._drain_replay()
+
+    def _drain_replay(self) -> None:
+        while self.replaying and self.replay_events:
+            src, seq = self.replay_events[0]
+            msg = self.staging.pop((src, seq), None)
+            if msg is None:
+                return                  # wait for the re-send to arrive
+            self.replay_events.popleft()
+            # already on the event log: deliver without re-logging
+            self._deliver_now(src, seq, msg)
+        if self.replaying and not self.replay_events:
+            self.replaying = False
+            self.engine.log("v2_replay_done", rank=self.rank)
+            # post-replay traffic processes through the normal
+            # pessimistic path, in (src, seq) order per source
+            for (src, seq) in sorted(self.staging):
+                msg = self.staging.pop((src, seq))
+                if seq > self.app_state[DELIVERED].get(src, 0):
+                    self._log_then_deliver(src, seq, msg)
+
+    # ------------------------------------------------------------------
+    # peer handling
+    # ------------------------------------------------------------------
+    def attach_peer(self, peer_rank: int, sock, resend_from: int) -> None:
+        old = self.peers.get(peer_rank)
+        if old is not None and not old.closed and old is not sock:
+            old.close()
+        self.peers[peer_rank] = sock
+        if resend_from:
+            for seq, msg in self.send_log[peer_rank]:
+                if seq >= resend_from and not sock.closed:
+                    sock.send(wire.V2Data(app=msg, seq=seq))
+        self._check_mesh()
+
+    def _check_mesh(self) -> None:
+        if len(self.peers) == self.n - 1 and not self.mesh_ready.triggered:
+            self.mesh_ready.succeed()
+
+    def peer_reader(self, sock, peer_rank: int):
+        while True:
+            try:
+                msg = yield sock.recv()
+            except StoreClosed:
+                # peer failed: keep its slot; the new incarnation dials in
+                if self.peers.get(peer_rank) is sock:
+                    del self.peers[peer_rank]
+                return
+            if isinstance(msg, wire.V2Data):
+                self.on_data(peer_rank, msg.seq, msg.app)
+            elif isinstance(msg, wire.V2GcNote):
+                log = self.send_log[msg.rank]
+                while log and log[0][0] <= msg.upto:
+                    log.popleft()
+
+    def evlog_reader(self):
+        while True:
+            try:
+                msg = yield self.evlog_sock.recv()
+            except StoreClosed:
+                return
+            if isinstance(msg, wire.EvLogAck):
+                self.on_evlog_ack(msg.pos)
+
+    def dispatcher_reader(self):
+        while True:
+            try:
+                msg = yield self.disp_sock.recv()
+            except StoreClosed:
+                return
+            if isinstance(msg, (wire.Terminate, wire.Shutdown)):
+                self.proc.exit()
+                return
+
+    # ------------------------------------------------------------------
+    # independent checkpointing
+    # ------------------------------------------------------------------
+    def ckpt_loop(self):
+        period = self.config.ckpt_period
+        # stagger ranks across the period to spread server load
+        offset = period * (self.rank + 1) / (self.n + 1)
+        first = period + offset - (self.engine.now % period)
+        yield self.engine.timeout(max(first, 1.0))
+        while not self.terminating:
+            yield from self._take_checkpoint()
+            yield self.engine.timeout(period)
+
+    def _take_checkpoint(self):
+        self.ckpt_counter += 1
+        wave = self.ckpt_counter
+        img = CheckpointImage(
+            rank=self.rank, wave=wave,
+            state=copy.deepcopy(self.app_state),
+            logs=[], img_size=int(self.config.image_size), complete=True)
+        # fork-style: local write, then stream to the server
+        yield self.engine.timeout(img.img_size / self.timing.local_disk_bw)
+        node_local_store(self.proc.node).store(img)
+        if self.ckpt_sock is not None and not self.ckpt_sock.closed:
+            self.ckpt_sock.send(wire.CkptStore(
+                rank=self.rank, wave=wave, state=img.state, logs=[],
+                img_size=img.img_size))
+        # sender logs + event log can be pruned up to this image
+        for peer_rank, sock in self.peers.items():
+            if not sock.closed:
+                sock.send(wire.V2GcNote(
+                    rank=self.rank,
+                    upto=img.state[DELIVERED].get(peer_rank, 0)))
+        if self.evlog_sock is not None and not self.evlog_sock.closed:
+            self.evlog_sock.send(wire.EvPrune(rank=self.rank,
+                                              upto=img.state[POS]))
+        self.engine.log("v2_ckpt", rank=self.rank, wave=wave)
+
+    # ------------------------------------------------------------------
+    # restore (this rank only)
+    # ------------------------------------------------------------------
+    def restore_own(self):
+        """Load the newest local/remote image of this rank, if any."""
+        local = node_local_store(self.proc.node)
+        waves = local.waves_for(self.rank)
+        img = local.load(self.rank, waves[-1]) if waves else None
+        if img is not None and img.complete:
+            yield self.engine.timeout(img.img_size / self.timing.local_disk_bw)
+            img = img.snapshot_of()
+        else:
+            self.ckpt_sock.send(wire.FetchReq(rank=self.rank, wave=None))
+            resp = yield self.ckpt_sock.recv()
+            assert isinstance(resp, wire.FetchResp), resp
+            if resp.wave is None:
+                return          # nothing stored: fresh start
+            img = CheckpointImage(rank=self.rank, wave=resp.wave,
+                                  state=copy.deepcopy(resp.state),
+                                  logs=[], img_size=resp.img_size)
+        self.app_state = img.state
+        self._init_state_keys()
+        self.delivery.rebind(self.app_state)
+        self.ckpt_counter = img.wave
+        self.engine.log("restore", rank=self.rank, wave=img.wave,
+                        replayed=0, protocol="v2")
+
+    # ------------------------------------------------------------------
+    # app thread
+    # ------------------------------------------------------------------
+    def app_thread(self):
+        ep = MpiEndpoint(self.rank, self.n, self.app_state, self, self.engine)
+        self.endpoint = ep
+        yield from self.app_factory(ep)
+
+
+def v2daemon_main(proc: UnixProcess, config, rank: int, epoch: int,
+                  incarnation: int, app_factory):
+    """Main generator of a V2 communication daemon process."""
+    engine = proc.engine
+    timing = config.timing
+    cluster = proc.node.cluster
+    core = V2Daemon(proc, config, rank, epoch, incarnation, app_factory)
+    proc.tags["v2"] = core
+    proc.tags["vcl"] = core        # FAIL_READ looks here for app state
+
+    listener = proc.node.listen(config.daemon_port_base + rank, owner=proc)
+
+    def accept_loop():
+        while True:
+            try:
+                sock = yield listener.accept()
+            except StoreClosed:
+                return
+            try:
+                hello = yield sock.recv()
+            except StoreClosed:
+                continue
+            if isinstance(hello, wire.V2Hello):
+                proc.spawn_thread(core.peer_reader(sock, hello.rank),
+                                  name=f"v2.{rank}.peer{hello.rank}")
+                core.attach_peer(hello.rank, sock, hello.resend_from)
+
+    proc.spawn_thread(accept_loop(), name=f"v2.{rank}.accept")
+
+    yield engine.timeout(timing.uniform(engine.random, timing.daemon_startup))
+
+    # --- argument exchange with the dispatcher -----------------------------
+    disp_addr = cluster.node("svc0").addr(config.dispatcher_port)
+    core.disp_sock = yield from connect_retry(
+        proc, disp_addr, timing.connect_retry_initial, timing.connect_retry_max)
+    core.disp_sock.send(wire.Register(rank=rank, addr=listener.addr,
+                                      epoch=epoch, incarnation=incarnation))
+    try:
+        ack = yield core.disp_sock.recv()
+    except StoreClosed:
+        proc.abort()
+        return
+    assert isinstance(ack, wire.RegisterAck), ack
+    yield from proc.trace_point("localMPI_setCommand")
+    try:
+        cmd = yield core.disp_sock.recv()
+    except StoreClosed:
+        proc.abort()
+        return
+    if isinstance(cmd, (wire.Terminate, wire.Shutdown)):
+        proc.exit()
+        return
+    assert isinstance(cmd, wire.CommandMap), cmd
+    proc.spawn_thread(core.dispatcher_reader(), name=f"v2.{rank}.disp")
+
+    # --- services ----------------------------------------------------------
+    server_idx = rank % config.n_ckpt_servers
+    ckpt_addr = cluster.node(f"svc{2 + server_idx}").addr(
+        config.ckpt_server_port_base + server_idx)
+    core.ckpt_sock = yield from connect_retry(
+        proc, ckpt_addr, timing.connect_retry_initial, timing.connect_retry_max)
+    evlog_addr = cluster.node("svc1").addr(config.eventlog_port)
+    core.evlog_sock = yield from connect_retry(
+        proc, evlog_addr, timing.connect_retry_initial, timing.connect_retry_max)
+
+    restarted = incarnation > 1
+    if restarted:
+        yield from core.restore_own()
+    core.next_pos_to_log = core.app_state[POS]
+
+    # --- mesh ----------------------------------------------------------------
+    def dial(peer_rank: int):
+        addr = cmd.addrs[peer_rank]
+        sock = yield from connect_retry(
+            proc, addr, timing.connect_retry_initial, timing.connect_retry_max,
+            stop=lambda: core.terminating)
+        if sock is None:
+            return
+        resend_from = (core.app_state[DELIVERED].get(peer_rank, 0) + 1
+                       if restarted else 0)
+        sock.send(wire.V2Hello(rank=rank, incarnation=incarnation,
+                               resend_from=resend_from))
+        proc.spawn_thread(core.peer_reader(sock, peer_rank),
+                          name=f"v2.{rank}.peer{peer_rank}")
+        core.attach_peer(peer_rank, sock, 0)
+
+    # initial launch: dial lower ranks; a restarted incarnation dials
+    # everyone (survivors only accept)
+    dial_targets = range(rank) if not restarted else \
+        [r for r in range(config.n_procs) if r != rank]
+    for peer_rank in dial_targets:
+        proc.spawn_thread(dial(peer_rank), name=f"v2.{rank}.dial{peer_rank}")
+
+    if config.n_procs > 1:
+        yield core.mesh_ready
+
+    # --- replay ------------------------------------------------------------------
+    if restarted:
+        core.evlog_sock.send(wire.EvFetch(rank=rank,
+                                          after=core.app_state[POS]))
+        resp = yield core.evlog_sock.recv()
+        assert isinstance(resp, wire.EvFetchResp), resp
+        core.begin_replay(list(resp.events))
+    proc.spawn_thread(core.evlog_reader(), name=f"v2.{rank}.evlog")
+
+    # --- run ----------------------------------------------------------------------
+    proc.spawn_thread(core.ckpt_loop(), name=f"v2.{rank}.ckpt")
+    core.app_proc = proc.spawn_thread(core.app_thread(), name=f"mpi.{rank}")
+
+    yield engine.event(name=f"v2.{rank}.forever")

@@ -1,0 +1,481 @@
+"""The MPICH-V communication daemon (Vdaemon) running the Vcl protocol.
+
+One daemon process per MPI rank.  It owns every connection of the rank
+(dispatcher, scheduler, checkpoint server, peer mesh), relays
+application messages, and implements the *non-blocking* Chandy-Lamport
+algorithm:
+
+* on the first marker of a wave it snapshots the MPI process state
+  (the fork-clone of the paper).  Delivered-but-unprocessed messages
+  are part of that state by construction — the delivery contract of
+  :class:`repro.mpi.endpoint.Transport` places every inbound message
+  into the checkpointable buffer *before* waking the application, so
+  no message can sit in scheduling limbo during a snapshot;
+* it then relays the marker on every outgoing channel and, per inbound
+  channel, logs messages until that channel's marker arrives;
+* the application keeps computing throughout; the image and the logged
+  messages stream to the checkpoint server in the background;
+* when the image and the channel logs are durably stored, the daemon
+  acknowledges the wave to the checkpoint scheduler.
+
+On restart the daemon restores the committed image (node-local disk if
+present, checkpoint-server fetch otherwise), replays logged messages
+into the application inbox, re-establishes the mesh and resumes the
+application from the restored state.
+
+The instrumentation point ``localMPI_setCommand`` sits exactly where
+the paper places it: after the initial argument exchange with the
+dispatcher (our ``Register``/``RegisterAck``), so the dispatcher
+already counts the daemon as running when the trace point is reached.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.cluster.network import ConnectionRefused
+from repro.cluster.unixproc import UnixProcess
+from repro.mpi.endpoint import LocalDelivery, MpiEndpoint
+from repro.mpi.message import AppMessage
+from repro.mpichv import wire
+from repro.mpichv.checkpoint import CheckpointImage, node_local_store
+from repro.simkernel.store import StoreClosed
+
+
+def connect_retry(proc: UnixProcess, addr, backoff_initial: float,
+                  backoff_max: float, stop: Callable[[], bool] = lambda: False):
+    """Connect with exponential backoff; loops while refused.
+
+    This retry loop is load-bearing for the reproduction: daemons that
+    keep retrying a peer that will never come back are *how the
+    dispatcher bug manifests as a freeze* (§5.3).
+    """
+    delay = backoff_initial
+    while not stop():
+        try:
+            sock = yield proc.node.connect(addr, owner=proc)
+            return sock
+        except ConnectionRefused:
+            yield proc.engine.timeout(delay)
+            delay = min(delay * 2, backoff_max)
+    return None
+
+
+class VclDaemon:
+    """State + threads of one communication daemon instance."""
+
+    def __init__(self, proc: UnixProcess, config, rank: int, epoch: int,
+                 incarnation: int, app_factory: Callable[[MpiEndpoint], Any]):
+        self.proc = proc
+        self.engine = proc.engine
+        self.config = config
+        self.timing = config.timing
+        self.rank = rank
+        self.epoch = epoch
+        self.incarnation = incarnation
+        self.app_factory = app_factory
+        self.n = config.n_procs
+
+        # app-side plumbing: deliveries land directly in the
+        # checkpointable state buffer (see repro.mpi.endpoint.Transport)
+        self.app_state: dict = {}
+        self.delivery = LocalDelivery(self.engine, self.app_state,
+                                      name=f"inbox.r{rank}")
+        self.endpoint: Optional[MpiEndpoint] = None
+        #: blocking variant: arrivals on already-flushed channels, held
+        #: out of the snapshot until the wave ends
+        self.post_flush: List[AppMessage] = []
+
+        # mesh
+        self.peers: Dict[int, Any] = {}         # rank -> socket
+        self.mesh_ready = self.engine.event(name=f"mesh_ready.r{rank}")
+
+        # Chandy-Lamport bookkeeping
+        self.current_wave = 0
+        self.logging_wave: Optional[int] = None
+        self.pending_markers: Set[int] = set()
+        self.wave_img: Optional[CheckpointImage] = None
+        self.late_logs: List[AppMessage] = []
+        self.store_acks: Dict[int, int] = {}     # wave -> acks received (need 2)
+        self.logging_done: Set[int] = set()
+
+        # service sockets
+        self.disp_sock = None
+        self.sched_sock = None
+        self.ckpt_sock = None
+
+        self.terminating = False
+        self.finished = False
+        #: handle of the MPI computation thread (blocking mode freezes it)
+        self.app_proc = None
+
+    # ------------------------------------------------------------------
+    # transport interface used by MpiEndpoint
+    # ------------------------------------------------------------------
+    def app_send(self, msg: AppMessage) -> None:
+        if msg.dst == self.rank:
+            self.delivery.deliver(msg)
+            return
+        sock = self.peers.get(msg.dst)
+        if sock is not None and not sock.closed:
+            sock.send(wire.DataMsg(msg))
+        # else: peer dead — a failure is being detected; the rollback
+        # will discard this whole execution line anyway.
+
+    def app_inbox_get(self):
+        return self.delivery.doorbell()
+
+    def app_done(self) -> None:
+        self.finished = True
+        if self.disp_sock is not None and not self.disp_sock.closed:
+            self.disp_sock.send(wire.Done(rank=self.rank))
+
+    # ------------------------------------------------------------------
+    # Chandy-Lamport
+    # ------------------------------------------------------------------
+    def handle_marker(self, marker: wire.Marker) -> None:
+        wave = marker.wave
+        if wave <= self.current_wave:
+            return                      # duplicate / stale marker
+        if self.logging_wave is None and wave > self.current_wave:
+            self._begin_local_checkpoint(wave, from_rank=marker.src_rank)
+        if marker.src_rank >= 0 and self.logging_wave == wave:
+            self.pending_markers.discard(marker.src_rank)
+            if not self.pending_markers:
+                self._finish_logging()
+
+    def _begin_local_checkpoint(self, wave: int, from_rank: int) -> None:
+        self.logging_wave = wave
+        self.store_acks[wave] = 0
+        if self.config.blocking:
+            # Blocking variant (§3): freeze the computation, flush the
+            # channels with the markers, snapshot afterwards.
+            if self.app_proc is not None and self.app_proc.alive:
+                self.app_proc.suspend()
+            self.wave_img = None
+            self.late_logs = []
+            self.post_flush = []
+        else:
+            # Non-blocking Vcl: snapshot now (the fork).  The deep copy
+            # of the MPI process state already contains every delivered
+            # message (delivery contract), so the image needs no
+            # separate in-buffer capture — only the channel-state
+            # messages still to arrive (late_logs).
+            self.wave_img = CheckpointImage(
+                rank=self.rank, wave=wave,
+                state=copy.deepcopy(self.app_state),
+                logs=[], img_size=int(self.config.image_size))
+            self.late_logs = []
+        # Relay the marker on every outgoing channel.
+        out_marker = wire.Marker(wave=wave, src_rank=self.rank)
+        for sock in self.peers.values():
+            if not sock.closed:
+                sock.send(out_marker)
+        self.pending_markers = set(r for r in range(self.n) if r != self.rank)
+        if from_rank >= 0:
+            self.pending_markers.discard(from_rank)
+        if not self.config.blocking:
+            # Background transfer of the image (clone + pipeline of paper).
+            self.proc.spawn_thread(self._ckpt_transfer(self.wave_img),
+                                   name=f"vdaemon.{self.rank}.ckpt{wave}")
+        if not self.pending_markers:
+            self._finish_logging()
+
+    def _finish_logging(self) -> None:
+        wave = self.logging_wave
+        if wave is None:
+            return
+        self.logging_wave = None
+        self.current_wave = wave
+        self.logging_done.add(wave)
+        if self.config.blocking:
+            # Channels are flushed (all markers in, computation frozen):
+            # snapshot now — the flushed channel contents are already
+            # in the state buffer.  Messages from channels that flushed
+            # early (post-marker sends by peers) were held back; they
+            # belong to the next execution interval, so deliver them
+            # only after the snapshot is taken.
+            img = CheckpointImage(
+                rank=self.rank, wave=wave,
+                state=copy.deepcopy(self.app_state),
+                logs=[], img_size=int(self.config.image_size),
+                complete=True)
+            self.wave_img = img
+            held, self.post_flush = self.post_flush, []
+            for msg in held:
+                self.delivery.deliver(msg)
+            self.proc.spawn_thread(self._ckpt_transfer(img),
+                                   name=f"vdaemon.{self.rank}.ckpt{wave}")
+            return
+        img = self.wave_img
+        img.logs.extend(self.late_logs)
+        img.complete = True
+        if self.ckpt_sock is not None and not self.ckpt_sock.closed:
+            self.ckpt_sock.send(wire.CkptLogAppend(rank=self.rank, wave=wave,
+                                                   logs=list(self.late_logs)))
+        self.late_logs = []
+
+    def _ckpt_transfer(self, img: CheckpointImage):
+        """Clone thread: write local image, stream it to the server."""
+        # local disk write (the forked clone writing its file)
+        yield self.engine.timeout(img.img_size / self.timing.local_disk_bw)
+        node_local_store(self.proc.node).store(img)
+        if self.config.blocking and self.app_proc is not None \
+                and self.app_proc.alive:
+            # blocking variant: computation resumes once the local
+            # checkpoint file exists
+            self.app_proc.resume()
+        # pipeline to the checkpoint server over the data connection
+        if self.ckpt_sock is not None and not self.ckpt_sock.closed:
+            self.ckpt_sock.send(wire.CkptStore(
+                rank=self.rank, wave=img.wave, state=img.state,
+                logs=list(img.logs), img_size=img.img_size))
+
+    def _note_store_ack(self, wave: int) -> None:
+        self.store_acks[wave] = self.store_acks.get(wave, 0) + 1
+        self._maybe_ack_scheduler(wave)
+
+    def _maybe_ack_scheduler(self, wave: int) -> None:
+        # Local checkpoint is finished when the image AND (non-blocking
+        # only) the channel logs are durably stored, and logging ended.
+        needed = 1 if self.config.blocking else 2
+        if (self.store_acks.get(wave, 0) >= needed
+                and wave in self.logging_done
+                and self.sched_sock is not None and not self.sched_sock.closed):
+            self.sched_sock.send(wire.SchedAck(rank=self.rank, wave=wave))
+
+    def on_data(self, from_rank: int, msg: AppMessage) -> None:
+        if self.logging_wave is not None:
+            if self.config.blocking:
+                if from_rank not in self.pending_markers:
+                    # blocking: the channel already flushed — this is a
+                    # post-snapshot message; hold it out of the image
+                    self.post_flush.append(msg)
+                    return
+            elif from_rank in self.pending_markers:
+                # non-blocking channel state: received after our
+                # snapshot, sent before the peer's marker -> log it
+                # (and deliver: the application never stalls).
+                self.late_logs.append(msg)
+        self.delivery.deliver(msg)
+
+    # ------------------------------------------------------------------
+    # restore path
+    # ------------------------------------------------------------------
+    def restore(self, restore_wave: Optional[int]):
+        """Load the committed image and replay channel state."""
+        if restore_wave is None:
+            self.app_state = {}
+            self.delivery.rebind(self.app_state)
+            return
+        local = node_local_store(self.proc.node).load(self.rank, restore_wave)
+        if local is not None and local.complete:
+            yield self.engine.timeout(local.img_size / self.timing.local_disk_bw)
+            img = local.snapshot_of()
+        else:
+            self.ckpt_sock.send(wire.FetchReq(rank=self.rank, wave=restore_wave))
+            resp = yield self.ckpt_sock.recv()
+            assert isinstance(resp, wire.FetchResp), resp
+            if resp.wave is None:
+                self.app_state = {}
+                self.delivery.rebind(self.app_state)
+                return
+            img = CheckpointImage(rank=self.rank, wave=resp.wave,
+                                  state=copy.deepcopy(resp.state),
+                                  logs=list(resp.logs), img_size=resp.img_size)
+        self.app_state = img.state
+        self.delivery.rebind(self.app_state)
+        self.current_wave = img.wave
+        for logged in img.logs:
+            self.delivery.deliver(logged)
+        self.engine.log("restore", rank=self.rank, wave=img.wave,
+                        replayed=len(img.logs),
+                        buffered=len(self.app_state.get("_mpi_unmatched", [])))
+
+    # ------------------------------------------------------------------
+    # reader threads
+    # ------------------------------------------------------------------
+    def peer_reader(self, sock, peer_rank: int):
+        while True:
+            try:
+                msg = yield sock.recv()
+            except StoreClosed:
+                return
+            if isinstance(msg, wire.DataMsg):
+                self.on_data(peer_rank, msg.app)
+            elif isinstance(msg, wire.Marker):
+                self.handle_marker(msg)
+
+    def sched_reader(self):
+        while True:
+            try:
+                msg = yield self.sched_sock.recv()
+            except StoreClosed:
+                return
+            if isinstance(msg, wire.Marker):
+                self.handle_marker(msg)
+
+    def ckpt_reader(self):
+        while True:
+            try:
+                msg = yield self.ckpt_sock.recv()
+            except StoreClosed:
+                return
+            if isinstance(msg, wire.CkptStoredAck):
+                self._note_store_ack(msg.wave)
+            # FetchResp is consumed inline by restore(); it only occurs
+            # before this reader is spawned.
+
+    def dispatcher_reader(self):
+        while True:
+            try:
+                msg = yield self.disp_sock.recv()
+            except StoreClosed:
+                return      # dispatcher gone: experiment is over
+            if isinstance(msg, wire.Terminate):
+                self.terminating = True
+                self.proc.spawn_thread(self._terminator(), name="terminator")
+            elif isinstance(msg, wire.Shutdown):
+                self.proc.exit()
+                return
+
+    def _terminator(self):
+        """Cleanup then clean exit; the dispatcher reads the resulting
+        socket closure as the termination acknowledgement."""
+        yield self.engine.timeout(
+            self.timing.uniform(self.engine.random, self.timing.terminate_cleanup))
+        self.proc.exit()
+
+    # ------------------------------------------------------------------
+    # app thread
+    # ------------------------------------------------------------------
+    def app_thread(self):
+        ep = MpiEndpoint(self.rank, self.n, self.app_state, self, self.engine)
+        self.endpoint = ep
+        yield from self.app_factory(ep)
+
+
+def vdaemon_main(proc: UnixProcess, config, rank: int, epoch: int,
+                 incarnation: int, app_factory):
+    """Main generator of a Vcl communication daemon process."""
+    engine = proc.engine
+    timing = config.timing
+    cluster = proc.node.cluster
+    core = VclDaemon(proc, config, rank, epoch, incarnation, app_factory)
+    proc.tags["vcl"] = core
+
+    # Bind the mesh listener before anything else so peers never race us.
+    listener = proc.node.listen(config.daemon_port_base + rank, owner=proc)
+
+    def accept_loop():
+        while True:
+            try:
+                sock = yield listener.accept()
+            except StoreClosed:
+                return
+            try:
+                hello = yield sock.recv()
+            except StoreClosed:
+                continue
+            if isinstance(hello, wire.Hello):
+                core.peers[hello.rank] = sock
+                proc.spawn_thread(core.peer_reader(sock, hello.rank),
+                                  name=f"vdaemon.{rank}.peer{hello.rank}")
+                _check_mesh()
+
+    expected_peers = config.n_procs - 1
+
+    def _check_mesh():
+        if len(core.peers) == expected_peers and not core.mesh_ready.triggered:
+            core.mesh_ready.succeed()
+
+    proc.spawn_thread(accept_loop(), name=f"vdaemon.{rank}.accept")
+
+    # exec + library initialisation time
+    yield engine.timeout(timing.uniform(engine.random, timing.daemon_startup))
+
+    # --- argument exchange with the dispatcher --------------------------------
+    disp_addr = cluster.node("svc0").addr(config.dispatcher_port)
+    core.disp_sock = yield from connect_retry(
+        proc, disp_addr, timing.connect_retry_initial, timing.connect_retry_max)
+    core.disp_sock.send(wire.Register(rank=rank, addr=listener.addr,
+                                      epoch=epoch, incarnation=incarnation))
+    try:
+        ack = yield core.disp_sock.recv()
+    except StoreClosed:
+        proc.abort()
+        return
+    assert isinstance(ack, wire.RegisterAck), ack
+
+    # The paper's instrumentation boundary: the dispatcher now counts
+    # this daemon as running.
+    yield from proc.trace_point("localMPI_setCommand")
+
+    try:
+        cmd = yield core.disp_sock.recv()
+    except StoreClosed:
+        proc.abort()
+        return
+    if isinstance(cmd, wire.Terminate):
+        core.terminating = True
+        yield engine.timeout(
+            timing.uniform(engine.random, timing.terminate_cleanup))
+        proc.exit()
+        return
+    if isinstance(cmd, wire.Shutdown):
+        proc.exit()
+        return
+    assert isinstance(cmd, wire.CommandMap), cmd
+    proc.spawn_thread(core.dispatcher_reader(), name=f"vdaemon.{rank}.disp")
+
+    # --- connect to scheduler and checkpoint server ----------------------------
+    if config.fault_tolerant:
+        sched_addr = cluster.node("svc1").addr(config.scheduler_port)
+        core.sched_sock = yield from connect_retry(
+            proc, sched_addr, timing.connect_retry_initial, timing.connect_retry_max)
+        server_idx = rank % config.n_ckpt_servers
+        ckpt_addr = cluster.node(f"svc{2 + server_idx}").addr(
+            config.ckpt_server_port_base + server_idx)
+        core.ckpt_sock = yield from connect_retry(
+            proc, ckpt_addr, timing.connect_retry_initial, timing.connect_retry_max)
+
+        # --- restore state (rollback) before joining the mesh --------
+        yield from core.restore(cmd.restore_wave)
+        proc.spawn_thread(core.ckpt_reader(), name=f"vdaemon.{rank}.ckptr")
+    else:
+        core.app_state = {}
+        core.delivery.rebind(core.app_state)
+
+    # --- build the mesh: connect to every lower rank ----------------------------
+    def dial(peer_rank: int):
+        addr = cmd.addrs[peer_rank]
+        sock = yield from connect_retry(
+            proc, addr, timing.connect_retry_initial, timing.connect_retry_max,
+            stop=lambda: core.terminating)
+        if sock is None:
+            return
+        sock.send(wire.Hello(rank=rank, epoch=epoch))
+        core.peers[peer_rank] = sock
+        proc.spawn_thread(core.peer_reader(sock, peer_rank),
+                          name=f"vdaemon.{rank}.peer{peer_rank}")
+        _check_mesh()
+
+    for peer_rank in range(rank):
+        proc.spawn_thread(dial(peer_rank), name=f"vdaemon.{rank}.dial{peer_rank}")
+
+    if expected_peers:
+        yield core.mesh_ready
+
+    # Announce to the scheduler only once the mesh is complete, so a
+    # marker wave can never catch this daemon with missing outgoing
+    # channels (which would strand the wave).
+    if config.fault_tolerant:
+        core.sched_sock.send(wire.SchedHello(rank=rank, epoch=epoch))
+        proc.spawn_thread(core.sched_reader(), name=f"vdaemon.{rank}.sched")
+
+    # --- run the application ------------------------------------------------------
+    core.app_proc = proc.spawn_thread(core.app_thread(), name=f"mpi.{rank}")
+
+    # Main thread idles; the process lives until Terminate/Shutdown.
+    yield engine.event(name=f"vdaemon.{rank}.forever")

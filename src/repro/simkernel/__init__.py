@@ -1,0 +1,41 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the foundation every other subsystem builds on.  It
+provides a virtual clock, an event heap, coroutine-style simulated
+processes (generators that ``yield`` awaitable events), timeouts,
+condition composition (:class:`AnyOf`/:class:`AllOf`), interrupt
+delivery, and simple queues (:class:`Store`).
+
+The design follows the classic process-interaction style (as in SimPy),
+but is implemented from scratch so the repository is self-contained and
+fully deterministic: two runs with the same seed produce the same event
+order, including tie-breaking between events scheduled at the same
+instant.
+"""
+
+from repro.simkernel.engine import Engine, SimTimeoutError
+from repro.simkernel.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    ProcessKilled,
+    Timeout,
+)
+from repro.simkernel.process import Process, PCB
+from repro.simkernel.store import Store, StoreClosed
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "ProcessKilled",
+    "Process",
+    "PCB",
+    "Store",
+    "StoreClosed",
+    "SimTimeoutError",
+]

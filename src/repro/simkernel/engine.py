@@ -1,0 +1,141 @@
+"""The discrete-event engine: virtual clock + deterministic event heap."""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.simkernel.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Timeout,
+    PRIORITY_NORMAL,
+)
+
+
+class SimTimeoutError(Exception):
+    """Raised by :meth:`Engine.run` when ``until`` elapses and
+    ``raise_on_timeout`` is set — used by test helpers that consider a
+    non-finished simulation an error."""
+
+
+class Engine:
+    """Owns the virtual clock and the pending-event heap.
+
+    Determinism guarantee: events scheduled at the same simulated time
+    run in (priority, insertion-order) order, and the only source of
+    randomness is :attr:`random`, seeded at construction.  Two engines
+    built with the same seed replay identical histories.
+    """
+
+    def __init__(self, seed: int = 0, trace=None):
+        self.now: float = 0.0
+        self.random = random.Random(seed)
+        self.seed = seed
+        #: heap entries: (time, priority, seq, payload) where payload is
+        #: either an Event to process or a bare callable.
+        self._heap: List[Tuple[float, int, int, Any]] = []
+        self._seq = 0
+        #: optional repro.analysis.traces.Trace sink shared by subsystems
+        self.trace = trace
+        #: number of events processed so far (cheap progress metric)
+        self.events_processed = 0
+        self._stopped = False
+
+    # -- construction helpers ---------------------------------------------
+    def event(self, name: Optional[str] = None) -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: Optional[str] = None) -> Timeout:
+        """Create an event that fires after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def process(self, gen: Generator, name: Optional[str] = None):
+        """Spawn a simulated process from generator ``gen``."""
+        from repro.simkernel.process import Process
+
+        return Process(self, gen, name=name)
+
+    # -- scheduling internals ------------------------------------------------
+    def _enqueue_event(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+
+    def _enqueue_call(self, fn: Callable[[], None], delay: float = 0.0,
+                      priority: int = PRIORITY_NORMAL) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, fn))
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Schedule a bare callable at absolute time ``when`` (>= now)."""
+        if when < self.now:
+            raise ValueError(f"call_at past time {when} < now {self.now}")
+        self._enqueue_call(fn, delay=when - self.now)
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule a bare callable ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._enqueue_call(fn, delay=delay)
+
+    # -- main loop ----------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next pending event, or ``float('inf')``."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one heap entry, advancing the clock."""
+        when, _prio, _seq, payload = heapq.heappop(self._heap)
+        assert when >= self.now, "event heap went backwards"
+        self.now = when
+        self.events_processed += 1
+        if isinstance(payload, Event):
+            payload._process()
+        else:
+            payload()
+
+    def run(self, until: Optional[float] = None, *, raise_on_timeout: bool = False,
+            max_events: Optional[int] = None) -> float:
+        """Run until the heap drains or the clock reaches ``until``.
+
+        Returns the final simulated time.  If ``until`` is hit with work
+        still pending, the clock is advanced to exactly ``until`` (so a
+        subsequent ``run`` continues cleanly).
+        """
+        self._stopped = False
+        processed = 0
+        while self._heap and not self._stopped:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                if raise_on_timeout:
+                    raise SimTimeoutError(f"simulation exceeded t={until}")
+                return self.now
+            self.step()
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        if until is not None and not self._heap and self.now < until:
+            self.now = until
+        return self.now
+
+    def stop(self) -> None:
+        """Make :meth:`run` return after the current event."""
+        self._stopped = True
+
+    # -- tracing ------------------------------------------------------------
+    def log(self, kind: str, **fields) -> None:
+        """Record a structured trace record if a trace sink is attached."""
+        if self.trace is not None:
+            self.trace.record(self.now, kind, **fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<Engine t={self.now} pending={len(self._heap)}>"

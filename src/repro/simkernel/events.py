@@ -1,0 +1,214 @@
+"""Event primitives for the discrete-event kernel.
+
+Events are the only things a simulated process may ``yield``.  An event
+is *triggered* exactly once, either successfully (:meth:`Event.succeed`)
+with a value, or unsuccessfully (:meth:`Event.fail`) with an exception.
+Triggering enqueues the event on the engine's heap at the current
+simulated time; its callbacks run when the engine pops it, which keeps
+the global event order total and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+#: Heap priority classes.  Lower sorts first among events at equal time.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LAZY = 2
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries an arbitrary payload describing why
+    the interrupt was delivered.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class ProcessKilled(Exception):
+    """Raised by :meth:`repro.simkernel.process.Process.wait` semantics
+    when a waited-on process was killed rather than finishing."""
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Parameters
+    ----------
+    engine:
+        The owning :class:`repro.simkernel.engine.Engine`.
+    name:
+        Optional label used in traces and reprs.
+    """
+
+    __slots__ = ("engine", "name", "callbacks", "_value", "_exc", "_triggered", "_processed")
+
+    def __init__(self, engine, name: Optional[str] = None):
+        self.engine = engine
+        self.name = name
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the engine has run this event's callbacks."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The success value, or raise the failure exception."""
+        if not self._triggered:
+            raise RuntimeError(f"value of untriggered event {self!r}")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise RuntimeError(f"event {self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.engine._enqueue_event(self, priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event with an exception ``exc``."""
+        if self._triggered:
+            raise RuntimeError(f"event {self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exc = exc
+        self.engine._enqueue_event(self, priority)
+        return self
+
+    # -- callback plumbing ---------------------------------------------------
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register ``cb`` to run when this event is processed.
+
+        If the event was already processed the callback is scheduled to
+        run at the current time (so late subscribers never miss it).
+        """
+        if self.callbacks is None:
+            # Already processed: deliver asynchronously but immediately.
+            self.engine._enqueue_call(lambda: cb(self))
+        else:
+            self.callbacks.append(cb)
+
+    def remove_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self.callbacks is not None and cb in self.callbacks:
+            self.callbacks.remove(cb)
+
+    def _process(self) -> None:
+        """Run callbacks (engine-internal)."""
+        if self._processed:
+            return
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        for cb in callbacks or ():
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        label = self.name or self.__class__.__name__
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{label} {state} at t={getattr(self.engine, 'now', '?')}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine, delay: float, value: Any = None, name: Optional[str] = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(engine, name=name or f"Timeout({delay})")
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        engine._enqueue_event(self, PRIORITY_NORMAL, delay=delay)
+
+
+class _Condition(Event):
+    """Common machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, engine, events):
+        super().__init__(engine)
+        self.events = tuple(events)
+        self._count = 0
+        for ev in self.events:
+            if not isinstance(ev, Event):
+                raise TypeError(f"condition operand {ev!r} is not an Event")
+            ev.add_callback(self._on_child)
+        if not self.events:
+            self.succeed({})
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.exception)
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _collect(self):
+        # Only events whose callbacks ran count as "happened" — a
+        # Timeout is triggered at creation but fires later.
+        return {ev: ev._value for ev in self.events if ev.processed and ev.ok}
+
+
+class AnyOf(_Condition):
+    """Triggers when *any* child event triggers.
+
+    The value is a dict mapping each already-triggered child to its
+    value, letting the waiter see which one(s) fired.
+    """
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class AllOf(_Condition):
+    """Triggers when *all* child events have triggered."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= len(self.events)

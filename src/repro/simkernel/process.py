@@ -1,0 +1,235 @@
+"""Coroutine-style simulated processes.
+
+A :class:`Process` drives a Python generator: the generator ``yield``\\ s
+:class:`~repro.simkernel.events.Event` objects and is resumed with the
+event's value (or has the event's exception thrown into it).  A Process
+is itself an Event that triggers when the generator finishes, so
+processes can wait on each other.
+
+Processes support three control verbs needed by the FAIL debugger
+model:
+
+``interrupt(cause)``
+    Throw :class:`~repro.simkernel.events.Interrupt` into the generator
+    at the current simulated instant.
+
+``suspend()`` / ``resume()``
+    Freeze delivery of wakeups (events keep triggering but are queued),
+    exactly like stopping a task under a debugger: the rest of the
+    world keeps moving.
+
+``kill()``
+    Terminate immediately without executing any further generator code
+    (modelling ``kill -9``; OS-level cleanup like socket closure is the
+    responsibility of the :mod:`repro.cluster.unixproc` layer).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Optional
+
+from repro.simkernel.events import Event, Interrupt, PRIORITY_URGENT
+
+#: process lifecycle states
+NEW = "new"
+RUNNING = "running"
+SUSPENDED = "suspended"
+DONE = "done"
+FAILED = "failed"
+KILLED = "killed"
+
+
+class Process(Event):
+    """A simulated process wrapping generator ``gen``.
+
+    The completion event succeeds with the generator's return value on
+    normal exit, succeeds with ``None`` if killed, and *fails* with the
+    escaping exception if the generator raised.
+    """
+
+    __slots__ = (
+        "gen",
+        "pid",
+        "state",
+        "result",
+        "error",
+        "_target",
+        "_target_cb",
+        "_inbox",
+        "_dispatch_scheduled",
+        "_started",
+    )
+
+    _next_pid = [1]
+
+    def __init__(self, engine, gen: Generator, name: Optional[str] = None):
+        super().__init__(engine, name=name or getattr(gen, "__name__", "process"))
+        if not hasattr(gen, "send"):
+            raise TypeError(f"Process requires a generator, got {gen!r}")
+        self.gen = gen
+        self.pid = Process._next_pid[0]
+        Process._next_pid[0] += 1
+        self.state = NEW
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._target: Optional[Event] = None
+        self._target_cb = None
+        self._inbox = deque()
+        self._dispatch_scheduled = False
+        self._started = False
+        engine._enqueue_call(self._start)
+
+    # -- public inspection ---------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True while the generator can still run."""
+        return self.state in (NEW, RUNNING, SUSPENDED)
+
+    @property
+    def is_suspended(self) -> bool:
+        return self.state == SUSPENDED
+
+    # -- lifecycle -------------------------------------------------------------
+    def _start(self) -> None:
+        if not self.alive:
+            return
+        self._started = True
+        if self.state == SUSPENDED:
+            # Suspended before ever running (debugger attach-at-launch):
+            # queue the initial step for delivery on resume.
+            self._inbox.appendleft(("start", None))
+            return
+        self.state = RUNNING
+        self._step(kind="start")
+
+    def _step(self, kind: str, event: Optional[Event] = None,
+              exc: Optional[BaseException] = None) -> None:
+        """Advance the generator by one yield."""
+        try:
+            if kind == "start":
+                target = next(self.gen)
+            elif kind == "throw":
+                target = self.gen.throw(exc)
+            elif event is not None and event.ok:
+                target = self.gen.send(event._value)
+            else:
+                target = self.gen.throw(event.exception)
+        except StopIteration as stop:
+            self._finish_ok(getattr(stop, "value", None))
+            return
+        except BaseException as err:  # noqa: BLE001 - process crash path
+            self._finish_err(err)
+            return
+        if not isinstance(target, Event):
+            self._finish_err(TypeError(f"process {self.name!r} yielded non-Event {target!r}"))
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Event) -> None:
+        self._target = target
+
+        def _cb(ev: Event, _self=self, _tgt=target) -> None:
+            if _self._target is _tgt:
+                _self._target = None
+                _self._target_cb = None
+            _self._deliver(("event", ev))
+
+        self._target_cb = _cb
+        target.add_callback(_cb)
+
+    def _detach(self) -> None:
+        if self._target is not None and self._target_cb is not None:
+            self._target.remove_callback(self._target_cb)
+        self._target = None
+        self._target_cb = None
+
+    def _finish_ok(self, value: Any) -> None:
+        self.state = DONE
+        self.result = value
+        self._detach()
+        if not self.triggered:
+            self.succeed(value)
+
+    def _finish_err(self, err: BaseException) -> None:
+        self.state = FAILED
+        self.error = err
+        self._detach()
+        failures = getattr(self.engine, "process_failures", None)
+        if failures is None:
+            failures = []
+            self.engine.process_failures = failures
+        failures.append(self)
+        if not self.triggered:
+            self.fail(err)
+
+    # -- delivery machinery -------------------------------------------------
+    def _deliver(self, item) -> None:
+        self._inbox.append(item)
+        self._maybe_dispatch()
+
+    def _maybe_dispatch(self) -> None:
+        if (self.alive and self.state != SUSPENDED and self._inbox
+                and not self._dispatch_scheduled and self._started):
+            self._dispatch_scheduled = True
+            self.engine._enqueue_call(self._dispatch, priority=PRIORITY_URGENT)
+
+    def _dispatch(self) -> None:
+        self._dispatch_scheduled = False
+        if not self.alive or self.state == SUSPENDED or not self._inbox:
+            return
+        kind, payload = self._inbox.popleft()
+        if kind == "event":
+            self._step(kind="event", event=payload)
+        elif kind == "start":
+            self._step(kind="start")
+        else:  # interrupt
+            self._step(kind="throw", exc=Interrupt(payload))
+        self._maybe_dispatch()
+
+    # -- control verbs ---------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the generator (async-safe)."""
+        if not self.alive:
+            return
+        self._detach()
+        self._deliver(("interrupt", cause))
+
+    def suspend(self) -> None:
+        """Debugger 'stop': freeze wakeup delivery; world keeps moving."""
+        if self.alive:
+            self.state = SUSPENDED
+
+    def resume(self) -> None:
+        """Debugger 'continue': deliver any wakeups queued while stopped."""
+        if self.state == SUSPENDED:
+            self.state = RUNNING
+            self._maybe_dispatch()
+
+    def kill(self) -> None:
+        """Terminate without executing further generator code."""
+        if not self.alive:
+            return
+        self.state = KILLED
+        self._detach()
+        self._inbox.clear()
+        # Close without running finally-blocks' sim-yields: generator
+        # close() raises GeneratorExit at the suspension point; any
+        # attempt to yield during cleanup raises RuntimeError which we
+        # swallow — matching SIGKILL's "no user-space cleanup".
+        try:
+            self.gen.close()
+        except (RuntimeError, ValueError):
+            # ValueError: closing a generator that is currently
+            # executing (a thread killing its own process); the frame
+            # finishes its current step and never resumes.
+            pass
+        if not self.triggered:
+            self.succeed(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<Process pid={self.pid} {self.name!r} {self.state}>"
+
+
+#: Backwards-friendly alias; a Process object *is* its own control block.
+PCB = Process

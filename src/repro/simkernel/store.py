@@ -1,0 +1,87 @@
+"""FIFO message stores (the kernel-level queue behind sockets).
+
+A :class:`Store` decouples producers and consumers: ``put`` never
+blocks (infinite capacity unless bounded), ``get`` returns an Event the
+consumer yields on.  Closing a store wakes every pending getter with
+:class:`StoreClosed` and makes further gets fail immediately — this is
+the primitive the socket layer maps TCP connection-closure onto.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.simkernel.events import Event
+
+
+class StoreClosed(Exception):
+    """The store was closed; no further items will ever arrive."""
+
+
+class Store:
+    """Deterministic FIFO queue of items with event-based ``get``."""
+
+    def __init__(self, engine, name: Optional[str] = None, capacity: Optional[int] = None):
+        self.engine = engine
+        self.name = name or "store"
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.closed = False
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> None:
+        """Append ``item``; wakes the oldest waiting getter if any.
+
+        Raises :class:`StoreClosed` if the store has been closed and
+        ``ValueError`` if a finite capacity would be exceeded.
+        """
+        if self.closed:
+            raise StoreClosed(f"put on closed store {self.name!r}")
+        if self.capacity is not None and len(self.items) >= self.capacity:
+            raise ValueError(f"store {self.name!r} over capacity {self.capacity}")
+        # Hand the item straight to a waiting getter, preserving FIFO
+        # order between queued items and queued getters.
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self.items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that yields the next item (or fails Closed)."""
+        ev = self.engine.event(name=f"{self.name}.get")
+        if self.items:
+            ev.succeed(self.items.popleft())
+        elif self.closed:
+            ev.fail(StoreClosed(f"get on closed store {self.name!r}"))
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def get_nowait(self) -> Any:
+        """Pop an item immediately; raises ``IndexError`` if empty."""
+        return self.items.popleft()
+
+    def close(self) -> None:
+        """Close: drained items stay readable=False (we fail getters).
+
+        Matching TCP reset-on-kill semantics: pending and future reads
+        fail with :class:`StoreClosed` even if unread bytes existed.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.fail(StoreClosed(f"store {self.name!r} closed"))
+        self.items.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Store {self.name!r} items={len(self.items)} "
+                f"getters={len(self._getters)} closed={self.closed}>")

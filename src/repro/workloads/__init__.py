@@ -1,0 +1,17 @@
+"""Workloads: the NAS-BT-like benchmark plus smaller demo applications.
+
+Every workload is written against :class:`repro.mpi.MpiEndpoint` and
+follows the restartability contract (all progress in ``ep.state``), so
+it survives checkpoint/rollback at any instant.
+"""
+
+from repro.workloads.nas_bt import BTWorkload, bt_expected_checksum
+from repro.workloads.ring import RingWorkload
+from repro.workloads.masterworker import MasterWorkerWorkload
+
+__all__ = [
+    "BTWorkload",
+    "bt_expected_checksum",
+    "RingWorkload",
+    "MasterWorkerWorkload",
+]

@@ -1,0 +1,116 @@
+"""A master/worker workload.
+
+The paper's introduction singles out master-worker execution as the
+other popular MPI style besides SPMD ("MPI is often used for
+Master-Worker execution, where MPI nodes play different roles"), so we
+ship one: rank 0 farms independent tasks to workers and sums their
+results.  Task bookkeeping lives entirely in checkpointable state, so
+the workload survives rollback; re-issued tasks are deduplicated by
+task id at the master.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+TAG_TASK = 300000
+TAG_RESULT = 300001
+TAG_STOP = 300002
+
+
+def _task_result(task_id: int) -> int:
+    """Deterministic "work": what a worker returns for a task."""
+    return task_id * task_id + 1
+
+
+@dataclass
+class MasterWorkerWorkload:
+    """Farm ``n_tasks`` squaring tasks over ``n_procs - 1`` workers."""
+
+    n_procs: int
+    n_tasks: int = 40
+    work_per_task: float = 0.5
+    msg_size: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.n_procs < 2:
+            raise ValueError("master/worker needs at least 2 ranks")
+
+    def expected_total(self) -> int:
+        return sum(_task_result(t) for t in range(self.n_tasks))
+
+    # -- master ------------------------------------------------------------
+    def _master(self, ep):
+        st = ep.state
+        if "next_task" not in st:
+            st["next_task"] = 0
+            st["results"] = {}          # task_id -> value (dedup by id)
+            st["stopped"] = 0
+        # prime every worker with one task (idempotent by task counter)
+        while st["next_task"] < min(ep.size - 1, self.n_tasks):
+            worker = st["next_task"] + 1
+            ep.send(worker, TAG_TASK, st["next_task"], size=self.msg_size)
+            st["next_task"] += 1
+        # more workers than tasks: the surplus can stop right away
+        if not st.get("surplus_stopped"):
+            for worker in range(self.n_tasks + 1, ep.size):
+                ep.send(worker, TAG_STOP, None, size=64)
+                st["stopped"] += 1
+            st["surplus_stopped"] = True
+        while len(st["results"]) < self.n_tasks:
+            msg = yield from ep.recv(tag=TAG_RESULT)
+            task_id, value = msg.payload
+            st["results"][task_id] = value
+            if st["next_task"] < self.n_tasks:
+                ep.send(msg.src, TAG_TASK, st["next_task"], size=self.msg_size)
+                st["next_task"] += 1
+            else:
+                ep.send(msg.src, TAG_STOP, None, size=64)
+                st["stopped"] += 1
+        while st["stopped"] < ep.size - 1:
+            # workers that never got a task (more workers than tasks) or
+            # whose stop raced a rollback still need their stop order
+            msg = yield from ep.recv(tag=TAG_RESULT)
+            task_id, value = msg.payload
+            st["results"][task_id] = value
+            ep.send(msg.src, TAG_STOP, None, size=64)
+            st["stopped"] += 1
+        total = sum(st["results"].values())
+        if total != self.expected_total():
+            raise RuntimeError(
+                f"master/worker verification FAILED: {total} != "
+                f"{self.expected_total()}")
+        st["verified"] = True
+        ep.engine.log("verify_ok", checksum=total)
+        ep.finalize()
+
+    # -- worker -------------------------------------------------------------
+    def _worker(self, ep):
+        st = ep.state
+        if "pending" not in st:
+            st["pending"] = None        # task received but not answered
+            st["done"] = False
+        while not st["done"]:
+            if st["pending"] is None:
+                msg = yield from ep.recv(src=0)
+                if msg.tag == TAG_STOP:
+                    st["done"] = True
+                    break
+                st["pending"] = msg.payload
+            yield from ep.compute(self.work_per_task)
+            # answer + clear in one atomic step
+            task_id = st["pending"]
+            ep.send(0, TAG_RESULT, (task_id, _task_result(task_id)),
+                    size=self.msg_size)
+            st["pending"] = None
+        st["verified"] = True
+        ep.finalize()
+
+    def app(self, ep):
+        if ep.rank == 0:
+            yield from self._master(ep)
+        else:
+            yield from self._worker(ep)
+
+    def make_factory(self):
+        return self.app

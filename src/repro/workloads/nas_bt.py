@@ -1,0 +1,143 @@
+"""A NAS BT (Block Tridiagonal) class-B analogue.
+
+The paper uses NAS BT class B as its workload because it "provides
+complex communication schemes and is suitable for testing fault
+tolerance", runs on a perfect-square number of processes, and keeps an
+approximately constant total memory footprint split across ranks.
+
+We model exactly those properties rather than the numerics:
+
+* ranks form a √P×√P grid; every iteration performs the three ADI
+  sweeps, each implemented as paired neighbour exchanges along a torus
+  dimension (6 messages per rank per iteration);
+* per-rank compute per iteration is ``total_compute/(niters·P)`` —
+  constant total work, so execution time strong-scales like the real
+  benchmark;
+* message size scales with the per-rank footprint (boundary faces of
+  the local block);
+* **verification**: every received payload is folded into a running
+  integer checksum; the closed-form expected total is checked by an
+  allreduce at the end.  Any message lost or duplicated across an
+  arbitrary schedule of failures and rollbacks breaks the final sum —
+  this is the workload-level witness of Chandy-Lamport consistency.
+
+The checksum arithmetic is integer-exact, so verification has no
+tolerance knob.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from repro.mpi.collectives import reduce_bcast
+
+#: tag namespace: tag = BT_TAG_BASE + iteration*8 + phase
+BT_TAG_BASE = 100000
+
+#: class-B-like calibration (see EXPERIMENTS.md): total CPU seconds of
+#: useful work and iteration count.  exec(P) ≈ TOTAL_COMPUTE/P.
+CLASS_B_TOTAL_COMPUTE = 8800.0
+CLASS_B_NITERS = 120
+
+
+def _contribution(iteration: int, rank: int) -> int:
+    """The integer a rank folds into each message of an iteration."""
+    return (iteration + 1) * (rank + 1)
+
+
+def bt_expected_checksum(n_procs: int, niters: int) -> int:
+    """Closed-form global checksum: every rank's per-iteration
+    contribution is received exactly once per phase (6 phases)."""
+    # _contribution(it, r) = (it+1)*(r+1): separable sum
+    ranks_sum = sum(r + 1 for r in range(n_procs))
+    iters_sum = sum(it + 1 for it in range(niters))
+    return 6 * ranks_sum * iters_sum
+
+
+@dataclass
+class BTWorkload:
+    """Factory producing the BT application generator for each rank."""
+
+    n_procs: int
+    niters: int = CLASS_B_NITERS
+    total_compute: float = CLASS_B_TOTAL_COMPUTE
+    #: total memory footprint (bytes); message size derives from it.
+    footprint: float = 1.6e9
+    #: fraction of the per-rank block exchanged per face message
+    face_fraction: float = 0.02
+    #: emit a trace "progress" record per iteration on rank 0
+    log_progress: bool = True
+
+    def __post_init__(self) -> None:
+        k = math.isqrt(self.n_procs)
+        if k * k != self.n_procs:
+            raise ValueError(f"BT needs a square process count, got {self.n_procs}")
+        self.grid = k
+
+    @property
+    def t_iter(self) -> float:
+        """Per-rank compute seconds per iteration."""
+        return self.total_compute / (self.niters * self.n_procs)
+
+    @property
+    def msg_size(self) -> int:
+        return max(64, int(self.footprint / self.n_procs * self.face_fraction))
+
+    def expected_checksum(self) -> int:
+        return bt_expected_checksum(self.n_procs, self.niters)
+
+    # -- neighbour topology ------------------------------------------------
+    def _neighbors(self, rank: int, phase: int):
+        """(send_to, recv_from) for a sweep phase on the torus grid."""
+        k = self.grid
+        row, col = divmod(rank, k)
+        if phase in (0, 4):      # x-sweep forward (and z modelled on x)
+            return row * k + (col + 1) % k, row * k + (col - 1) % k
+        if phase in (1, 5):      # x-sweep backward
+            return row * k + (col - 1) % k, row * k + (col + 1) % k
+        if phase == 2:           # y-sweep forward
+            return ((row + 1) % k) * k + col, ((row - 1) % k) * k + col
+        if phase == 3:           # y-sweep backward
+            return ((row - 1) % k) * k + col, ((row + 1) % k) * k + col
+        raise ValueError(f"bad phase {phase}")
+
+    # -- the application --------------------------------------------------------
+    def app(self, ep):
+        """The per-rank generator (restartable state machine)."""
+        st = ep.state
+        if "iter" not in st:
+            st["iter"] = 0
+            st["phase"] = 0
+            st["acc"] = 0
+        while st["iter"] < self.niters:
+            it = st["iter"]
+            while st["phase"] < 6:
+                ph = st["phase"]
+                send_to, recv_from = self._neighbors(ep.rank, ph)
+                tag = BT_TAG_BASE + it * 8 + ph
+                msg = yield from ep.sendrecv(
+                    send_to, tag, _contribution(it, ep.rank),
+                    recv_from, tag, size=self.msg_size)
+                # atomic with the receive: fold in and advance the phase
+                st["acc"] += msg.payload
+                st["phase"] = ph + 1
+            yield from ep.compute(self.t_iter)
+            st["iter"] = it + 1
+            st["phase"] = 0
+            if self.log_progress and ep.rank == 0:
+                ep.engine.log("progress", iter=st["iter"], of=self.niters)
+        # global verification
+        total = yield from reduce_bcast(ep, "bt_verify", st["acc"])
+        expected = self.expected_checksum()
+        if total != expected:
+            raise RuntimeError(
+                f"BT verification FAILED on rank {ep.rank}: "
+                f"checksum {total} != expected {expected}")
+        st["verified"] = True
+        if ep.rank == 0:
+            ep.engine.log("verify_ok", checksum=total)
+        ep.finalize()
+
+    def make_factory(self):
+        """``app_factory`` for :class:`repro.mpichv.runtime.VclRuntime`."""
+        return self.app

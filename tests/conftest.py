@@ -1,0 +1,29 @@
+"""Shared fixtures and tiny builders for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.traces import Trace
+from repro.cluster.cluster import Cluster
+from repro.simkernel.engine import Engine
+
+
+@pytest.fixture
+def engine():
+    """A fresh seeded engine with a trace sink attached."""
+    return Engine(seed=1234, trace=Trace())
+
+
+@pytest.fixture
+def cluster(engine):
+    """A small 4-node cluster on the shared engine."""
+    return Cluster(engine, 4)
+
+
+def run_quiet(engine, until=None):
+    """Run and assert that no simulated process crashed."""
+    engine.run(until=until)
+    failures = getattr(engine, "process_failures", [])
+    assert not failures, [(p.name, p.error) for p in failures]
+    return engine.now

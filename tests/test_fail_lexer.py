@@ -1,0 +1,72 @@
+"""Unit tests for the FAIL tokenizer."""
+
+import pytest
+
+from repro.fail.lang.errors import FailSyntaxError
+from repro.fail.lang.lexer import tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def values(src):
+    return [t.value for t in tokenize(src) if t.kind != "eof"]
+
+
+def test_empty_source_is_just_eof():
+    toks = tokenize("")
+    assert len(toks) == 1 and toks[0].kind == "eof"
+
+
+def test_keywords_vs_identifiers():
+    toks = tokenize("Daemon ADV1 node onload myvar")
+    assert [t.kind for t in toks[:-1]] == ["keyword", "ident", "keyword",
+                                           "keyword", "ident"]
+
+
+def test_numbers():
+    toks = tokenize("12 345")
+    assert [(t.kind, t.value) for t in toks[:-1]] == [("number", "12"),
+                                                      ("number", "345")]
+
+
+def test_multichar_operators_maximal_munch():
+    assert values("<> == <= >= && || -> < >") == [
+        "<>", "==", "<=", ">=", "&&", "||", "->", "<", ">"]
+
+
+def test_receive_and_send_markers():
+    assert values("?ok !crash") == ["?", "ok", "!", "crash"]
+
+
+def test_line_comments_skipped():
+    assert values("a // comment here\n b") == ["a", "b"]
+
+
+def test_block_comments_skipped_with_newlines():
+    toks = tokenize("a /* multi\nline\ncomment */ b")
+    assert [t.value for t in toks[:-1]] == ["a", "b"]
+    assert toks[1].line == 3
+
+
+def test_line_and_column_tracking():
+    toks = tokenize("ab\n  cd")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+def test_unexpected_character_reports_position():
+    with pytest.raises(FailSyntaxError) as err:
+        tokenize("a\n@")
+    assert "line 2" in str(err.value)
+
+
+def test_underscore_identifiers():
+    assert values("g_timer FAIL_RANDOM nb_crash") == [
+        "g_timer", "FAIL_RANDOM", "nb_crash"]
+
+
+def test_brackets_and_punctuation():
+    assert values("G1[ran];{},():") == [
+        "G1", "[", "ran", "]", ";", "{", "}", ",", "(", ")", ":"]

@@ -1,0 +1,252 @@
+"""Unit tests for the FAIL parser and semantic checks."""
+
+import pytest
+
+from repro.fail import builtin_scenarios as scenarios
+from repro.fail.lang import ast
+from repro.fail.lang.errors import FailSemanticError, FailSyntaxError
+from repro.fail.lang.parser import parse_fail
+from repro.fail.lang.pretty import pretty_print
+from repro.fail.lang.semantics import check_program
+
+ALL_PAPER_SCENARIOS = [
+    scenarios.FIG4_NODE_DAEMON,
+    scenarios.FIG5A_MASTER,
+    scenarios.FIG7A_MASTER,
+    scenarios.FIG8A_MASTER,
+    scenarios.FIG8B_NODE_DAEMON,
+    scenarios.FIG10A_MASTER,
+    scenarios.FIG10B_NODE_DAEMON,
+]
+
+
+@pytest.mark.parametrize("src", ALL_PAPER_SCENARIOS)
+def test_paper_scenarios_parse_check_roundtrip(src):
+    prog = parse_fail(src)
+    check_program(prog, params={"X", "N"})
+    assert parse_fail(pretty_print(prog)) == prog
+
+
+def test_simple_daemon_structure():
+    prog = parse_fail("""
+        Daemon D {
+          int x = 3;
+          node 1:
+            onload -> continue, goto 2;
+          node 2:
+            ?crash -> !ok(P1), halt, goto 1;
+        }
+    """)
+    d = prog.daemon("D")
+    assert [v.name for v in d.variables] == ["x"]
+    assert [n.node_id for n in d.nodes] == [1, 2]
+    assert d.start_node == 1
+    tr = d.node(2).transitions[0]
+    assert isinstance(tr.trigger, ast.MsgTrigger) and tr.trigger.name == "crash"
+    assert isinstance(tr.actions[0], ast.SendAction)
+    assert isinstance(tr.actions[1], ast.HaltAction)
+    assert tr.actions[2] == ast.GotoAction(1)
+
+
+def test_guard_binds_after_first_and():
+    prog = parse_fail("""
+        Daemon D {
+          int n = 1;
+          node 1:
+            ?ok && n > 1 && n < 5 -> goto 1;
+        }
+    """)
+    tr = prog.daemon("D").node(1).transitions[0]
+    assert isinstance(tr.guard, ast.BinOp) and tr.guard.op == "&&"
+
+
+def test_paper_inequality_operator():
+    prog = parse_fail("""
+        Daemon D {
+          int w = 1;
+          node 1:
+            onload && w <> 2 -> continue, goto 1;
+        }
+    """)
+    guard = prog.daemon("D").node(1).transitions[0].guard
+    assert guard.op == "<>"
+
+
+def test_listing_labels_accepted():
+    with_labels = """
+        Daemon D {
+          1 int x = 0;
+          node 1:
+            2 onload -> continue, goto 1;
+            3 ?crash -> halt, goto 1;
+        }
+    """
+    without = """
+        Daemon D {
+          int x = 0;
+          node 1:
+            onload -> continue, goto 1;
+            ?crash -> halt, goto 1;
+        }
+    """
+    assert parse_fail(with_labels) == parse_fail(without)
+
+
+def test_empty_node_allowed():
+    prog = parse_fail("Daemon D { node 1: ?go -> goto 4; node 4: }")
+    assert prog.daemon("D").node(4).transitions == ()
+
+
+def test_paper_node_node_typo_tolerated():
+    prog = parse_fail("Daemon D { node node 1: onload -> continue, goto 1; }")
+    assert prog.daemon("D").node(1) is not None
+
+
+def test_before_trigger_and_stop_action():
+    prog = parse_fail("""
+        Daemon D {
+          node 4:
+            before(localMPI_setCommand) -> halt, goto 4;
+          node 5:
+            onload -> stop, goto 5;
+        }
+    """)
+    tr = prog.daemon("D").node(4).transitions[0]
+    assert tr.trigger == ast.Before("localMPI_setCommand")
+    assert prog.daemon("D").start_node == 4
+
+
+def test_fail_random_and_dest_index():
+    prog = parse_fail("""
+        Daemon D {
+          node 1:
+            always int ran = FAIL_RANDOM(0, 52);
+            time g_timer = 50;
+            timer -> !crash(G1[ran]), goto 1;
+        }
+    """)
+    node = prog.daemon("D").node(1)
+    assert isinstance(node.always[0].init, ast.RandCall)
+    assert node.timers[0].delay == ast.Num(50)
+    send = node.transitions[0].actions[0]
+    assert send.dest == ast.DestIndex("G1", ast.Var("ran"))
+
+
+def test_fail_sender_dest():
+    prog = parse_fail("""
+        Daemon D {
+          node 3:
+            ?waveok -> !crash(FAIL_SENDER), goto 3;
+        }
+    """)
+    send = prog.daemon("D").node(3).transitions[0].actions[0]
+    assert isinstance(send.dest, ast.DestSender)
+
+
+def test_deploy_block():
+    prog = parse_fail("""
+        Daemon A { node 1: }
+        Daemon B { node 1: }
+        Deploy {
+          P1 = A;
+          G1[53] = B;
+        }
+    """)
+    assert prog.deploy == (
+        ast.DeployDirective("P1", "A", None),
+        ast.DeployDirective("G1", "B", 53),
+    )
+
+
+def test_expression_precedence():
+    prog = parse_fail("""
+        Daemon D {
+          int x = 1 + 2 * 3;
+          node 1:
+        }
+    """)
+    init = prog.daemon("D").variables[0].init
+    assert init == ast.BinOp("+", ast.Num(1),
+                             ast.BinOp("*", ast.Num(2), ast.Num(3)))
+
+
+def test_unary_and_parens():
+    prog = parse_fail("""
+        Daemon D {
+          int x = -(1 + 2);
+          node 1:
+        }
+    """)
+    init = prog.daemon("D").variables[0].init
+    assert isinstance(init, ast.UnOp) and init.op == "-"
+
+
+# ---------------------------------------------------------------------------
+# syntax errors
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("bad", [
+    "Daemon { node 1: }",                       # missing name
+    "Daemon D { }",                             # no nodes
+    "Daemon D { node 1: onload -> ; }",         # empty actions
+    "Daemon D { node 1: onload continue; }",    # missing arrow
+    "Daemon D { node 1: ?ok -> goto; }",        # goto without target
+    "Daemon D { node one: }",                   # non-integer node id
+    "Garbage",                                  # not a program
+])
+def test_syntax_errors(bad):
+    with pytest.raises(FailSyntaxError):
+        parse_fail(bad)
+
+
+# ---------------------------------------------------------------------------
+# semantic errors
+# ---------------------------------------------------------------------------
+
+def test_goto_nonexistent_node_rejected():
+    prog = parse_fail("Daemon D { node 1: onload -> goto 9; }")
+    with pytest.raises(FailSemanticError):
+        check_program(prog)
+
+
+def test_undeclared_variable_rejected():
+    prog = parse_fail("Daemon D { node 1: ?ok && mystery > 0 -> goto 1; }")
+    with pytest.raises(FailSemanticError):
+        check_program(prog)
+
+
+def test_param_makes_variable_defined():
+    prog = parse_fail("Daemon D { node 1: ?ok && X > 0 -> goto 1; }")
+    check_program(prog, params={"X"})
+    with pytest.raises(FailSemanticError):
+        check_program(prog, params=set())
+
+
+def test_assignment_to_undeclared_rejected():
+    prog = parse_fail("Daemon D { node 1: ?ok -> y = 1, goto 1; }")
+    with pytest.raises(FailSemanticError):
+        check_program(prog)
+
+
+def test_timer_trigger_without_timer_rejected():
+    prog = parse_fail("Daemon D { node 1: timer -> goto 1; }")
+    with pytest.raises(FailSemanticError):
+        check_program(prog)
+
+
+def test_duplicate_node_ids_rejected():
+    prog = parse_fail("Daemon D { node 1: node 1: }")
+    with pytest.raises(FailSemanticError):
+        check_program(prog)
+
+
+def test_duplicate_daemons_rejected():
+    prog = parse_fail("Daemon D { node 1: } Daemon D { node 1: }")
+    with pytest.raises(FailSemanticError):
+        check_program(prog)
+
+
+def test_deploy_unknown_daemon_rejected():
+    prog = parse_fail("Daemon A { node 1: } Deploy { P1 = Z; }")
+    with pytest.raises(FailSemanticError):
+        check_program(prog)

@@ -1,0 +1,175 @@
+"""Unit tests for the MPI endpoint and message matching.
+
+Uses a loopback transport so the endpoint logic is exercised without
+the MPICH-V stack.
+"""
+
+import pytest
+
+from repro.mpi.endpoint import MpiEndpoint, UNMATCHED_KEY
+from repro.mpi.message import ANY, AppMessage
+from repro.simkernel.engine import Engine
+from repro.simkernel.store import Store
+
+
+class LoopbackTransport:
+    """Delivers every sent message back to the local endpoint, honouring
+    the state-buffer delivery contract (for tests)."""
+
+    def __init__(self, engine, state):
+        from repro.mpi.endpoint import LocalDelivery
+        self.delivery = LocalDelivery(engine, state)
+        self.sent = []
+        self.done = False
+
+    def app_send(self, msg):
+        self.sent.append(msg)
+        self.delivery.deliver(msg)
+
+    def app_inbox_get(self):
+        return self.delivery.doorbell()
+
+    def app_done(self):
+        self.done = True
+
+
+@pytest.fixture
+def ep():
+    engine = Engine(seed=0)
+    state = {}
+    transport = LoopbackTransport(engine, state)
+    endpoint = MpiEndpoint(rank=0, size=4, state=state, transport=transport,
+                           engine=engine)
+    return engine, transport, endpoint
+
+
+def _drive(engine, gen):
+    p = engine.process(gen)
+    engine.run()
+    assert p.state == "done", p.error
+    return p.result
+
+
+def test_message_matching_wildcards():
+    msg = AppMessage(src=2, dst=0, tag=7, payload="x")
+    assert msg.matches(2, 7)
+    assert msg.matches(ANY, 7)
+    assert msg.matches(2, ANY)
+    assert msg.matches(ANY, ANY)
+    assert not msg.matches(1, 7)
+    assert not msg.matches(2, 8)
+
+
+def test_send_validates_rank(ep):
+    engine, transport, endpoint = ep
+    with pytest.raises(ValueError):
+        endpoint.send(9, 0, None)
+    with pytest.raises(ValueError):
+        endpoint.send(-1, 0, None)
+
+
+def test_recv_returns_matching_message(ep):
+    engine, transport, endpoint = ep
+
+    def main():
+        endpoint.send(0, 5, "hello")
+        msg = yield from endpoint.recv(src=0, tag=5)
+        return msg.payload
+
+    assert _drive(engine, main()) == "hello"
+    assert endpoint.sent_count == 1
+    assert endpoint.recv_count == 1
+
+
+def test_non_matching_buffered_in_state(ep):
+    engine, transport, endpoint = ep
+
+    def main():
+        endpoint.send(0, 1, "first")      # will not match tag=2
+        endpoint.send(0, 2, "second")
+        msg = yield from endpoint.recv(src=0, tag=2)
+        return msg.payload
+
+    assert _drive(engine, main()) == "second"
+    # the unmatched message is checkpointable state
+    buf = endpoint.state[UNMATCHED_KEY]
+    assert len(buf) == 1 and buf[0].payload == "first"
+
+
+def test_buffered_message_matched_before_inbox(ep):
+    engine, transport, endpoint = ep
+
+    def main():
+        endpoint.send(0, 1, "early")
+        # receiving a later tag first forces "early" into the buffer
+        endpoint.send(0, 2, "x")
+        yield from endpoint.recv(tag=2)
+        msg = yield from endpoint.recv(tag=1)
+        return msg.payload
+
+    assert _drive(engine, main()) == "early"
+
+
+def test_fifo_per_source_preserved(ep):
+    engine, transport, endpoint = ep
+
+    def main():
+        for i in range(5):
+            endpoint.send(0, 3, i)
+        got = []
+        for _ in range(5):
+            msg = yield from endpoint.recv(tag=3)
+            got.append(msg.payload)
+        return got
+
+    assert _drive(engine, main()) == [0, 1, 2, 3, 4]
+
+
+def test_compute_advances_time(ep):
+    engine, transport, endpoint = ep
+
+    def main():
+        yield from endpoint.compute(2.5)
+        return engine.now
+
+    assert _drive(engine, main()) == 2.5
+
+
+def test_compute_zero_is_free(ep):
+    engine, transport, endpoint = ep
+
+    def main():
+        yield from endpoint.compute(0.0)
+        return engine.now
+        yield  # pragma: no cover - make it a generator
+
+    p = engine.process(main())
+    engine.run()
+    assert p.result == 0.0
+
+
+def test_compute_negative_rejected(ep):
+    engine, transport, endpoint = ep
+
+    def main():
+        yield from endpoint.compute(-1.0)
+
+    p = engine.process(main())
+    engine.run()
+    assert isinstance(p.error, ValueError)
+
+
+def test_sendrecv_roundtrip(ep):
+    engine, transport, endpoint = ep
+
+    def main():
+        msg = yield from endpoint.sendrecv(0, 4, "ping", 0, 4)
+        return msg.payload
+
+    assert _drive(engine, main()) == "ping"
+
+
+def test_finalize_notifies_transport(ep):
+    engine, transport, endpoint = ep
+    endpoint.finalize()
+    assert transport.done

@@ -1,0 +1,178 @@
+"""Edge-case tests for the dispatcher, scheduler and daemon protocol.
+
+These cover the corners the integration tests don't reach directly:
+kills during specific protocol windows, stale registrations, wave
+aborts, spares, and the difference between launch-time and run-time
+failure handling.
+"""
+
+import pytest
+
+from repro.analysis.classify import Outcome
+from repro.mpichv.config import VclConfig
+from repro.mpichv.runtime import VclRuntime
+from repro.workloads.nas_bt import BTWorkload
+
+
+def bt_runtime(n=4, seed=0, **cfg):
+    cfg.setdefault("footprint", 1.2e8)
+    config = VclConfig(n_procs=n, n_machines=n + 2, **cfg)
+    wl = BTWorkload(n_procs=n, niters=20, total_compute=400.0,
+                    footprint=cfg["footprint"])
+    return VclRuntime(config, wl.make_factory(), seed=seed)
+
+
+def assert_clean(rt):
+    assert not getattr(rt.engine, "process_failures", []), \
+        [(p.name, p.error) for p in rt.engine.process_failures]
+
+
+def kill_nth_spawn(rt, n_th, at_breakpoint=None):
+    """Kill the n-th vdaemon spawn (optionally at a trace point)."""
+    counter = {"n": 0}
+
+    def on_spawn(proc):
+        if not proc.name.startswith("vdaemon"):
+            return
+        counter["n"] += 1
+        if counter["n"] == n_th:
+            if at_breakpoint:
+                proc.set_breakpoint(at_breakpoint,
+                                    lambda p, fn, resume: p.kill())
+            else:
+                proc.kill()
+
+    for node in rt.cluster.nodes:
+        node.on_spawn(on_spawn)
+
+
+def test_kill_during_initial_launch_respawns():
+    """A daemon dying before registration is a launch failure handled
+    by the spawn watch (the ssh channel), not the bug path."""
+    rt = bt_runtime(seed=3)
+    kill_nth_spawn(rt, 2)          # second-ever spawn dies instantly
+    res = rt.run()
+    assert res.outcome is Outcome.TERMINATED
+    assert res.trace.count("verify_ok") == 1
+    launch_failures = [r for r in res.trace.of_kind("failure_detected")
+                       if r.where == "launch"]
+    assert len(launch_failures) == 1
+    assert res.restarts == 0       # no restart wave: only a respawn
+    assert_clean(rt)
+
+
+def test_kill_at_setcommand_during_initial_launch():
+    """Initial launch (no restart in progress): a registered daemon
+    dying is detected normally even by the buggy dispatcher —
+    pending_term is empty, the misattribution needs an ongoing
+    cleanup."""
+    rt = bt_runtime(seed=4, bug_compat=True)
+    kill_nth_spawn(rt, 3, at_breakpoint="localMPI_setCommand")
+    res = rt.run()
+    assert res.outcome is Outcome.TERMINATED
+    assert res.bug_events == 0
+    assert_clean(rt)
+
+
+def test_two_simultaneous_kills_single_restart():
+    """Both closures arrive before recovery finishes: the first opens
+    the restart wave, the second is absorbed as an old-epoch
+    termination ack — one restart, not two."""
+    rt = bt_runtime(seed=5)
+
+    def do():
+        procs = rt.cluster.all_procs("vdaemon")
+        procs[0].kill()
+        procs[1].kill()
+
+    rt.engine.call_at(45.0, do)
+    res = rt.run()
+    assert res.outcome is Outcome.TERMINATED
+    assert res.restarts == 1
+    assert res.trace.count("verify_ok") == 1
+    assert_clean(rt)
+
+
+def test_kill_terminating_daemon_is_harmless():
+    """Killing an old-wave daemon mid-cleanup just accelerates its
+    termination ack."""
+    rt = bt_runtime(seed=6)
+
+    def first():
+        rt.cluster.all_procs("vdaemon")[0].kill()
+
+    def second():
+        # ~0.1 s into the restart: survivors are cleaning up
+        procs = [p for p in rt.cluster.all_procs("vdaemon")]
+        if procs:
+            procs[-1].kill()
+
+    rt.engine.call_at(45.0, first)
+    rt.engine.call_at(45.1, second)
+    res = rt.run()
+    assert res.outcome is Outcome.TERMINATED
+    assert res.restarts == 1
+    assert_clean(rt)
+
+
+def test_scheduler_aborts_wave_on_failure():
+    """A fault landing mid-wave aborts that wave; the system rolls
+    back to the previous committed one."""
+    rt = bt_runtime(seed=7)
+    # waves start at 30, 60...; image transfer takes a few seconds, so
+    # t=61 is mid-wave-2
+    rt.engine.call_at(61.0, lambda: rt.cluster.all_procs("vdaemon")[0].kill())
+    res = rt.run()
+    assert res.outcome is Outcome.TERMINATED
+    assert res.trace.count("ckpt_wave_abort") >= 1
+    rec = res.trace.last("restart_wave")
+    assert rec.restore == 1
+    assert_clean(rt)
+
+
+def test_repeated_fig11_freezes_then_fix_restores(tmp_path):
+    """The same seed freezes with the bug and terminates with the fix —
+    the core §5.3 claim, one more time through the public API."""
+    outcomes = {}
+    for bug in (True, False):
+        rt = bt_runtime(seed=8, bug_compat=bug, timeout=600.0)
+        state = {"armed": False}
+
+        def first_kill(rt=rt, state=state):
+            rt.cluster.all_procs("vdaemon")[0].kill()
+            state["armed"] = True
+
+        rt.engine.call_at(45.0, first_kill)
+
+        def on_spawn(proc, state=state):
+            if state["armed"] and proc.name.startswith("vdaemon"):
+                state["armed"] = False
+                proc.set_breakpoint("localMPI_setCommand",
+                                    lambda p, fn, resume: p.kill())
+
+        for node in rt.cluster.nodes:
+            node.on_spawn(on_spawn)
+        outcomes[bug] = rt.run().outcome
+    assert outcomes[True] is Outcome.BUGGY
+    assert outcomes[False] is Outcome.TERMINATED
+
+
+def test_spare_machines_remain_idle_without_failures():
+    rt = bt_runtime(seed=9)
+    res = rt.run()
+    assert res.outcome is Outcome.TERMINATED
+    # machines beyond n_procs never hosted anything
+    for idx in (4, 5):
+        node = rt.cluster.node(f"m{idx}")
+        assert node.procs == []
+
+
+def test_dispatcher_state_introspection():
+    rt = bt_runtime(seed=10)
+    res = rt.run()
+    disp = rt.dispatcher_state
+    assert disp.phase == "done"
+    assert disp.epoch == 0
+    assert len(disp.done_ranks) == 4
+    sched = rt.scheduler_state
+    assert sched.waves_committed == res.waves_committed

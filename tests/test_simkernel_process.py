@@ -1,0 +1,235 @@
+"""Unit tests for simulated processes (coroutines)."""
+
+import pytest
+
+from repro.simkernel.engine import Engine
+from repro.simkernel.events import Interrupt
+from repro.simkernel import process as proc_mod
+
+
+def test_process_runs_and_returns():
+    eng = Engine(seed=0)
+
+    def main():
+        yield eng.timeout(1.0)
+        yield eng.timeout(2.0)
+        return "result"
+
+    p = eng.process(main())
+    eng.run()
+    assert p.state == proc_mod.DONE
+    assert p.result == "result"
+    assert eng.now == 3.0
+
+
+def test_process_requires_generator():
+    eng = Engine(seed=0)
+    with pytest.raises(TypeError):
+        eng.process(lambda: None)
+
+
+def test_waiting_on_a_process():
+    eng = Engine(seed=0)
+
+    def child():
+        yield eng.timeout(5.0)
+        return 42
+
+    def parent():
+        value = yield eng.process(child())
+        return value * 2
+
+    p = eng.process(parent())
+    eng.run()
+    assert p.result == 84
+
+
+def test_process_crash_recorded_and_propagates():
+    eng = Engine(seed=0)
+
+    def bad():
+        yield eng.timeout(1.0)
+        raise RuntimeError("crashed")
+
+    p = eng.process(bad())
+    eng.run()
+    assert p.state == proc_mod.FAILED
+    assert isinstance(p.error, RuntimeError)
+    assert p in eng.process_failures
+
+
+def test_crash_propagates_to_waiter():
+    eng = Engine(seed=0)
+
+    def bad():
+        yield eng.timeout(1.0)
+        raise ValueError("inner")
+
+    def parent():
+        try:
+            yield eng.process(bad())
+        except ValueError:
+            return "caught"
+        return "missed"
+
+    p = eng.process(parent())
+    eng.run()
+    assert p.result == "caught"
+
+
+def test_yield_non_event_fails_process():
+    eng = Engine(seed=0)
+
+    def bad():
+        yield 42
+
+    p = eng.process(bad())
+    eng.run()
+    assert p.state == proc_mod.FAILED
+    assert isinstance(p.error, TypeError)
+
+
+def test_interrupt_delivers_cause():
+    eng = Engine(seed=0)
+    seen = []
+
+    def main():
+        try:
+            yield eng.timeout(100.0)
+        except Interrupt as intr:
+            seen.append((eng.now, intr.cause))
+
+    p = eng.process(main())
+    eng.call_later(3.0, lambda: p.interrupt("wakeup"))
+    eng.run()
+    assert seen == [(3.0, "wakeup")]
+
+
+def test_interrupt_dead_process_is_noop():
+    eng = Engine(seed=0)
+
+    def main():
+        yield eng.timeout(1.0)
+
+    p = eng.process(main())
+    eng.run()
+    p.interrupt("late")   # must not raise
+    eng.run()
+    assert p.state == proc_mod.DONE
+
+
+def test_kill_stops_immediately():
+    eng = Engine(seed=0)
+    progress = []
+
+    def main():
+        for i in range(10):
+            yield eng.timeout(1.0)
+            progress.append(i)
+
+    p = eng.process(main())
+    eng.call_later(3.5, p.kill)
+    eng.run()
+    assert p.state == proc_mod.KILLED
+    assert progress == [0, 1, 2]
+    # the already-scheduled 4.0 wakeup drains harmlessly
+    assert eng.now == 4.0
+
+
+def test_kill_does_not_run_finally_yields():
+    """SIGKILL semantics: cleanup code needing simulation time never runs."""
+    eng = Engine(seed=0)
+    cleaned = []
+
+    def main():
+        try:
+            yield eng.timeout(100.0)
+        finally:
+            cleaned.append("sync-cleanup")
+
+    p = eng.process(main())
+    eng.call_later(1.0, p.kill)
+    eng.run()
+    assert p.state == proc_mod.KILLED
+    # synchronous finally does run (GeneratorExit), but the process is dead
+    assert cleaned == ["sync-cleanup"]
+
+
+def test_waiter_of_killed_process_gets_none():
+    eng = Engine(seed=0)
+
+    def child():
+        yield eng.timeout(100.0)
+
+    def parent(c):
+        value = yield c
+        return ("done", value)
+
+    c = eng.process(child())
+    p = eng.process(parent(c))
+    eng.call_later(2.0, c.kill)
+    eng.run()
+    assert p.result == ("done", None)
+
+
+def test_suspend_stashes_wakeups_until_resume():
+    eng = Engine(seed=0)
+    ticks = []
+
+    def main():
+        while True:
+            yield eng.timeout(1.0)
+            ticks.append(eng.now)
+
+    p = eng.process(main())
+    eng.call_later(2.5, p.suspend)
+    eng.call_later(10.0, p.resume)
+    eng.run(until=12.0)
+    # ticks at 1,2 then the 3.0 wakeup is stashed until 10.0;
+    # after resume the loop continues from there
+    assert ticks[0:2] == [1.0, 2.0]
+    assert ticks[2] == 10.0
+    assert ticks[3] == 11.0
+
+
+def test_suspend_before_first_step():
+    eng = Engine(seed=0)
+    ran = []
+
+    def main():
+        ran.append(eng.now)
+        yield eng.timeout(1.0)
+
+    p = eng.process(main())
+    p.suspend()                 # same instant as creation
+    eng.call_later(5.0, p.resume)
+    eng.run()
+    assert ran == [5.0]
+
+
+def test_interrupt_while_suspended_delivered_on_resume():
+    eng = Engine(seed=0)
+    seen = []
+
+    def main():
+        try:
+            yield eng.timeout(100.0)
+        except Interrupt as intr:
+            seen.append((eng.now, intr.cause))
+
+    p = eng.process(main())
+    eng.call_later(1.0, p.suspend)
+    eng.call_later(2.0, lambda: p.interrupt("x"))
+    eng.call_later(5.0, p.resume)
+    eng.run()
+    assert seen == [(5.0, "x")]
+
+
+def test_pids_are_unique():
+    eng = Engine(seed=0)
+
+    def main():
+        yield eng.timeout(1.0)
+
+    pids = {eng.process(main()).pid for _ in range(50)}
+    assert len(pids) == 50

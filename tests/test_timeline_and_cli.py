@@ -1,0 +1,99 @@
+"""Tests for the timeline renderer and the CLI dispatcher."""
+
+import pytest
+
+from repro.__main__ import COMMANDS, main, usage
+from repro.analysis.timeline import lane_density, render_timeline
+from repro.analysis.traces import Trace
+
+
+def make_trace(records):
+    tr = Trace()
+    for t, kind in records:
+        tr.record(t, kind)
+    return tr
+
+
+def test_timeline_marks_land_in_buckets():
+    tr = make_trace([(0.0, "progress"), (50.0, "fault_injected"),
+                     (100.0, "app_done")])
+    text = render_timeline(tr, width=20)
+    lines = {line.split()[0]: line for line in text.splitlines()[1:-1]}
+    assert lines["progress"].split()[-1][0] == "█"
+    assert lines["done"].split()[-1][-1] == "D"
+    assert "x" in lines["fault"]
+
+
+def test_timeline_empty_trace():
+    text = render_timeline(Trace(), width=20)
+    assert "(0 events shown" in text
+
+
+def test_timeline_respects_window():
+    tr = make_trace([(10.0, "fault_injected"), (90.0, "fault_injected")])
+    text = render_timeline(tr, width=20, t0=0.0, t1=50.0)
+    fault_line = [ln for ln in text.splitlines() if ln.startswith("fault")][0]
+    assert fault_line.count("x") == 1
+
+
+def test_timeline_width_validation():
+    with pytest.raises(ValueError):
+        render_timeline(Trace(), width=5)
+
+
+def test_timeline_freeze_signature_visible():
+    """A frozen run shows one early restart mark and then nothing —
+    the visual the paper's red bars summarize."""
+    tr = make_trace([(50.0, "restart_wave"), (51.0, "bug_misattribution")])
+    text = render_timeline(tr, width=40, t0=0.0, t1=1500.0)
+    restart_line = [ln for ln in text.splitlines()
+                    if ln.startswith("restart")][0]
+    marks = restart_line.split(None, 1)[1]
+    assert marks.count("R") == 1
+    assert marks.rstrip("·").endswith("R")     # nothing after the freeze
+
+
+def test_lane_density():
+    tr = make_trace([(t, "restart_wave") for t in (5.0, 15.0, 95.0)])
+    density = lane_density(tr, ("restart_wave",), 0.0, 100.0, buckets=10)
+    assert density[0] == 1 and density[1] == 1 and density[9] == 1
+    assert sum(density) == 3
+
+
+def test_timeline_on_real_run():
+    from repro.mpichv.config import VclConfig
+    from repro.mpichv.runtime import VclRuntime
+    from repro.workloads.nas_bt import BTWorkload
+    config = VclConfig(n_procs=4, n_machines=6, footprint=1.2e8)
+    wl = BTWorkload(n_procs=4, niters=10, total_compute=200.0, footprint=1.2e8)
+    rt = VclRuntime(config, wl.make_factory(), seed=0)
+    res = rt.run()
+    text = render_timeline(res.trace, width=60)
+    assert "D" in text          # the run completed
+    assert "C" in text          # checkpoints happened
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_usage_lists_all_commands():
+    text = usage()
+    for command in COMMANDS:
+        assert command in text
+
+
+def test_cli_help_exits_zero(capsys):
+    assert main([]) == 0
+    assert "usage" in capsys.readouterr().out
+
+
+def test_cli_unknown_command(capsys):
+    assert main(["nope"]) == 2
+    assert "unknown command" in capsys.readouterr().err
+
+
+def test_cli_table1_runs(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "FAIL-FCI" in out

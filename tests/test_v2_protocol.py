@@ -1,0 +1,198 @@
+"""Tests for the V2 protocol (pessimistic sender-based message logging).
+
+Covers the event-logger service, independent checkpointing, the
+single-rank restart + replay path, duplicate suppression, and the
+workload-level exactness invariant under kill schedules.
+"""
+
+import pytest
+
+from repro.analysis.classify import Outcome
+from repro.mpichv.config import VclConfig
+from repro.mpichv.eventlog import EventLogState
+from repro.mpichv.runtime import VclRuntime
+from repro.workloads.masterworker import MasterWorkerWorkload
+from repro.workloads.nas_bt import BTWorkload
+from repro.workloads.ring import RingWorkload
+
+
+def v2_runtime(workload=None, n=4, seed=0, **cfg):
+    cfg.setdefault("footprint", 1.2e8)
+    config = VclConfig(n_procs=n, n_machines=n + 2, protocol="v2", **cfg)
+    wl = workload or BTWorkload(n_procs=n, niters=20, total_compute=400.0,
+                                footprint=cfg["footprint"])
+    return VclRuntime(config, wl.make_factory(), seed=seed)
+
+
+def kill_at(rt, when, which=1):
+    def do():
+        procs = rt.cluster.all_procs("vdaemon")
+        if procs:
+            procs[which % len(procs)].kill()
+    rt.engine.call_at(when, do)
+
+
+def assert_clean(rt):
+    assert not getattr(rt.engine, "process_failures", []), \
+        [(p.name, p.error) for p in rt.engine.process_failures]
+
+
+# ---------------------------------------------------------------------------
+# event logger state
+# ---------------------------------------------------------------------------
+
+def test_eventlog_append_fetch_prune():
+    st = EventLogState()
+    st.append(0, 1, src=2, src_seq=1)
+    st.append(0, 2, src=1, src_seq=1)
+    st.append(0, 3, src=2, src_seq=2)
+    assert st.fetch_after(0, 0) == [(2, 1), (1, 1), (2, 2)]
+    assert st.fetch_after(0, 2) == [(2, 2)]
+    st.prune(0, 2)
+    assert st.fetch_after(0, 0) == [(2, 2)]
+    assert st.pruned == 2
+
+
+def test_eventlog_append_idempotent():
+    st = EventLogState()
+    st.append(0, 1, 2, 1)
+    st.append(0, 1, 2, 1)      # retransmission
+    assert st.logged == 1
+    assert len(st.events[0]) == 1
+
+
+def test_eventlog_fetch_unknown_rank_empty():
+    assert EventLogState().fetch_after(9, 0) == []
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+
+def test_v2_config_validation():
+    with pytest.raises(ValueError):
+        VclConfig(n_procs=4, protocol="nope")
+    with pytest.raises(ValueError):
+        VclConfig(n_procs=4, protocol="v2", blocking=True)
+
+
+def test_v2_deployment_has_eventlog_not_scheduler():
+    rt = v2_runtime()
+    rt.deploy()
+    assert rt.eventlog_proc is not None
+    assert rt.scheduler_proc is None
+
+
+# ---------------------------------------------------------------------------
+# fault-free behaviour
+# ---------------------------------------------------------------------------
+
+def test_v2_fault_free_terminates_and_verifies():
+    rt = v2_runtime()
+    res = rt.run()
+    assert res.outcome is Outcome.TERMINATED
+    assert res.trace.count("verify_ok") == 1
+    # independent checkpoints: several per rank, no waves
+    assert res.trace.count("v2_ckpt") >= 4
+    assert res.trace.count("ckpt_wave_start") == 0
+    assert_clean(rt)
+
+
+def test_v2_pessimistic_logging_adds_latency():
+    """Pessimistic logging charges a logger round trip per delivery:
+    V2 must be (slightly) slower than Vcl fault-free."""
+    t_v2 = v2_runtime(seed=1).run().exec_time
+
+    config = VclConfig(n_procs=4, n_machines=6, footprint=1.2e8)
+    wl = BTWorkload(n_procs=4, niters=20, total_compute=400.0, footprint=1.2e8)
+    t_vcl = VclRuntime(config, wl.make_factory(), seed=1).run().exec_time
+    assert t_v2 > t_vcl
+    assert t_v2 < t_vcl * 1.2      # but not catastrophically
+
+
+# ---------------------------------------------------------------------------
+# failures: single-rank restart
+# ---------------------------------------------------------------------------
+
+def test_v2_single_failure_restarts_one_rank_only():
+    rt = v2_runtime(seed=3)
+    kill_at(rt, 70.0)
+    res = rt.run()
+    assert res.outcome is Outcome.TERMINATED
+    assert res.trace.count("verify_ok") == 1
+    # exactly one restore, one replay — survivors never restarted
+    assert res.trace.count("restore") == 1
+    assert res.trace.count("v2_replay_start") == 1
+    assert res.trace.count("v2_replay_done") == 1
+    # daemons spawned = 4 initial + 1 respawn
+    assert res.trace.count("proc_launch") == 5 + (1 + rt.config.n_ckpt_servers
+                                                  + 1)  # + services
+    assert_clean(rt)
+
+
+def test_v2_failure_cheaper_than_vcl_rollback():
+    """The selling point of message logging: one failure costs the
+    replay of one rank, not a global rollback."""
+    def run(protocol):
+        cfg = VclConfig(n_procs=4, n_machines=6, footprint=1.2e8,
+                        protocol=protocol)
+        wl = BTWorkload(n_procs=4, niters=20, total_compute=400.0,
+                        footprint=1.2e8)
+        rt = VclRuntime(cfg, wl.make_factory(), seed=7)
+        kill_at(rt, 55.0)
+        return rt.run()
+
+    res_v2 = run("v2")
+    res_vcl = run("vcl")
+    assert res_v2.outcome is Outcome.TERMINATED
+    assert res_vcl.outcome is Outcome.TERMINATED
+    assert res_v2.exec_time < res_vcl.exec_time
+
+
+def test_v2_failure_before_any_checkpoint_full_replay():
+    rt = v2_runtime(seed=3)
+    kill_at(rt, 20.0)          # before every first checkpoint
+    res = rt.run()
+    assert res.outcome is Outcome.TERMINATED
+    rec = res.trace.last("v2_replay_start")
+    assert rec is not None and rec.events > 0
+    assert res.trace.count("verify_ok") == 1
+    assert_clean(rt)
+
+
+@pytest.mark.parametrize("seed,kills", [
+    (11, (40.0,)),
+    (12, (45.0, 95.0)),
+    (13, (33.0, 80.0, 120.0)),
+])
+def test_v2_checksum_exact_under_sequential_kills(seed, kills):
+    rt = v2_runtime(seed=seed)
+    for i, t in enumerate(kills):
+        kill_at(rt, t, which=i * 3 + 1)
+    res = rt.run()
+    assert_clean(rt)
+    assert res.outcome is Outcome.TERMINATED
+    assert res.trace.count("verify_ok") == 1
+
+
+def test_v2_ring_and_masterworker_survive_kills():
+    for wl, kill_t in ((RingWorkload(n_procs=4, rounds=40, work_per_hop=1.0),
+                        25.0),
+                       (MasterWorkerWorkload(n_procs=4, n_tasks=30,
+                                             work_per_task=2.0), 25.0)):
+        rt = v2_runtime(workload=wl, seed=4, footprint=4e7)
+        kill_at(rt, kill_t, which=2)
+        res = rt.run(timeout=600.0)
+        assert res.outcome is Outcome.TERMINATED, type(wl).__name__
+        assert_clean(rt)
+
+
+def test_v2_deterministic_per_seed():
+    def run():
+        rt = v2_runtime(seed=21)
+        kill_at(rt, 50.0)
+        return rt.run()
+
+    first, second = run(), run()
+    assert first.exec_time == second.exec_time
+    assert first.events_processed == second.events_processed

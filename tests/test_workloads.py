@@ -1,0 +1,100 @@
+"""Unit tests for the workloads (topology, calibration, verification)."""
+
+import pytest
+
+from repro.workloads.masterworker import MasterWorkerWorkload, _task_result
+from repro.workloads.nas_bt import BTWorkload, bt_expected_checksum
+from repro.workloads.ring import RingWorkload
+
+
+# ---------------------------------------------------------------------------
+# BT
+# ---------------------------------------------------------------------------
+
+def test_bt_requires_square_process_count():
+    with pytest.raises(ValueError):
+        BTWorkload(n_procs=7)
+    assert BTWorkload(n_procs=49).grid == 7
+
+
+def test_bt_strong_scaling_compute():
+    small = BTWorkload(n_procs=25)
+    big = BTWorkload(n_procs=64)
+    assert small.t_iter * 25 == pytest.approx(big.t_iter * 64)
+    assert small.t_iter > big.t_iter
+
+
+def test_bt_message_size_shrinks_with_scale():
+    assert BTWorkload(n_procs=25).msg_size > BTWorkload(n_procs=64).msg_size
+
+
+def test_bt_neighbors_are_paired_per_phase():
+    """Each phase is a permutation: every rank sends to exactly one
+    rank and receives from exactly one rank, and the send/recv
+    relations are inverses — the checksum conservation argument."""
+    wl = BTWorkload(n_procs=9)
+    for phase in range(6):
+        send_to = {}
+        recv_from = {}
+        for rank in range(9):
+            s, r = wl._neighbors(rank, phase)
+            send_to[rank] = s
+            recv_from[rank] = r
+        assert sorted(send_to.values()) == list(range(9))
+        assert sorted(recv_from.values()) == list(range(9))
+        for rank in range(9):
+            assert recv_from[send_to[rank]] == rank
+
+
+def test_bt_neighbors_single_rank_self_loops():
+    wl = BTWorkload(n_procs=1)
+    for phase in range(6):
+        assert wl._neighbors(0, phase) == (0, 0)
+
+
+def test_bt_bad_phase_rejected():
+    with pytest.raises(ValueError):
+        BTWorkload(n_procs=4)._neighbors(0, 6)
+
+
+def test_bt_expected_checksum_closed_form():
+    # brute force for a tiny case: 6 phases, each rank's contribution
+    # received once per phase
+    n, iters = 4, 3
+    brute = 6 * sum((it + 1) * (r + 1) for it in range(iters)
+                    for r in range(n))
+    assert bt_expected_checksum(n, iters) == brute
+
+
+# ---------------------------------------------------------------------------
+# ring
+# ---------------------------------------------------------------------------
+
+def test_ring_expected_total():
+    assert RingWorkload(n_procs=5, rounds=3).expected_total() == 15
+
+
+# ---------------------------------------------------------------------------
+# master/worker
+# ---------------------------------------------------------------------------
+
+def test_masterworker_needs_two_ranks():
+    with pytest.raises(ValueError):
+        MasterWorkerWorkload(n_procs=1)
+
+
+def test_masterworker_expected_total():
+    wl = MasterWorkerWorkload(n_procs=4, n_tasks=5)
+    assert wl.expected_total() == sum(t * t + 1 for t in range(5))
+    assert _task_result(3) == 10
+
+
+def test_masterworker_more_workers_than_tasks_runs():
+    from repro.mpichv.config import VclConfig
+    from repro.mpichv.runtime import VclRuntime
+    wl = MasterWorkerWorkload(n_procs=6, n_tasks=2, work_per_task=0.5)
+    config = VclConfig(n_procs=6, n_machines=8, footprint=4e7)
+    rt = VclRuntime(config, wl.make_factory(), seed=0)
+    res = rt.run(timeout=300.0)
+    assert res.outcome.value == "terminated"
+    assert not getattr(rt.engine, "process_failures", [])

@@ -21,6 +21,15 @@ import pytest
 
 FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
 
+#: ``REPRO_WORKERS=N`` fans the trials of each figure out over N
+#: processes — the interesting setting for ``REPRO_FULL=1`` runs.
+WORKERS = int(os.environ.get("REPRO_WORKERS", "1") or "1")
+
+#: ``REPRO_CACHE_DIR=DIR`` opts into the trial result cache.  Off by
+#: default: a cached regeneration measures cache reads, not the
+#: simulator, and would make the recorded timings dishonest.
+CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or None
+
 #: reduced-mode knobs: a 16-rank BT with a shorter run.  The footprint
 #: (and hence checkpoint-wave duration, the quantity that shapes every
 #: figure) stays at its class-B value — only compute shrinks.
@@ -35,6 +44,13 @@ def mode():
 def figure_kwargs():
     """Workload kwargs for experiment drivers per mode."""
     return {} if FULL else dict(QUICK_WORKLOAD)
+
+
+def make_runner():
+    """A fresh TrialRunner honouring REPRO_WORKERS / REPRO_CACHE_DIR."""
+    from repro.experiments.runner import TrialRunner
+
+    return TrialRunner(workers=WORKERS, cache_dir=CACHE_DIR)
 
 
 def reps(full_reps):

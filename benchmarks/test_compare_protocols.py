@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import FULL, attach, figure_kwargs, reps
+from benchmarks.conftest import FULL, attach, figure_kwargs, make_runner, reps
 from repro.experiments import compare_protocols as cp
 
 
@@ -18,7 +18,7 @@ def test_protocol_comparison(benchmark):
         n_reps = 2
 
     result = benchmark.pedantic(
-        lambda: cp.run_experiment(reps=n_reps, **kwargs),
+        lambda: cp.run_experiment(reps=n_reps, runner=make_runner(), **kwargs),
         rounds=1, iterations=1)
     attach(benchmark, result)
     print()

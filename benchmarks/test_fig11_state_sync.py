@@ -2,7 +2,8 @@
 
 import pytest
 
-from benchmarks.conftest import FULL, attach, figure_kwargs, reps, scales
+from benchmarks.conftest import (attach, figure_kwargs, make_runner, reps,
+                                 scales)
 from repro.experiments import fig11_state_sync as fig11
 
 
@@ -13,6 +14,7 @@ def test_fig11_state_sync(benchmark):
     result = benchmark.pedantic(
         lambda: fig11.run_experiment(reps=n_reps, scales=use_scales,
                                      include_baseline=False,
+                                     runner=make_runner(),
                                      **figure_kwargs()),
         rounds=1, iterations=1)
     attach(benchmark, result)
@@ -30,6 +32,7 @@ def test_fig11_bugfix_ablation(benchmark):
     result = benchmark.pedantic(
         lambda: fig11.run_experiment(reps=3, scales=use_scales,
                                      include_baseline=False, bug_compat=False,
+                                     runner=make_runner(),
                                      **figure_kwargs()),
         rounds=1, iterations=1)
     attach(benchmark, result)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import FULL, attach, figure_kwargs, reps
+from benchmarks.conftest import FULL, attach, figure_kwargs, make_runner, reps
 from repro.experiments import fig5_frequency as fig5
 
 
@@ -16,7 +16,8 @@ def test_fig5_frequency(benchmark):
                       periods=(None, 65, 50, 45, 40), **figure_kwargs())
 
     result = benchmark.pedantic(
-        lambda: fig5.run_experiment(reps=reps(fig5.REPS), **kwargs),
+        lambda: fig5.run_experiment(reps=reps(fig5.REPS),
+                                    runner=make_runner(), **kwargs),
         rounds=1, iterations=1)
     attach(benchmark, result)
 

@@ -2,7 +2,8 @@
 
 import pytest
 
-from benchmarks.conftest import FULL, attach, figure_kwargs, reps, scales
+from benchmarks.conftest import (attach, figure_kwargs, make_runner, reps,
+                                 scales)
 from repro.experiments import fig6_scale as fig6
 
 
@@ -11,7 +12,7 @@ def test_fig6_scale(benchmark):
     use_scales = scales(fig6.SCALES, (9, 16, 25))
     result = benchmark.pedantic(
         lambda: fig6.run_experiment(reps=reps(fig6.REPS), scales=use_scales,
-                                    **figure_kwargs()),
+                                    runner=make_runner(), **figure_kwargs()),
         rounds=1, iterations=1)
     attach(benchmark, result)
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import FULL, attach, figure_kwargs, reps
+from benchmarks.conftest import FULL, attach, figure_kwargs, make_runner, reps
 from repro.experiments import fig7_simultaneous as fig7
 
 
@@ -18,7 +18,8 @@ def test_fig7_simultaneous(benchmark):
         n_reps = 3
 
     result = benchmark.pedantic(
-        lambda: fig7.run_experiment(reps=n_reps, **kwargs),
+        lambda: fig7.run_experiment(reps=n_reps, runner=make_runner(),
+                                    **kwargs),
         rounds=1, iterations=1)
     attach(benchmark, result)
 
@@ -38,7 +39,8 @@ def test_fig7_bugfix_ablation(benchmark):
               if FULL else dict(n_procs=16, n_machines=20, **figure_kwargs()))
     result = benchmark.pedantic(
         lambda: fig7.run_experiment(reps=3 if not FULL else reps(fig7.REPS),
-                                    batches=(5,), bug_compat=False, **kwargs),
+                                    batches=(5,), bug_compat=False,
+                                    runner=make_runner(), **kwargs),
         rounds=1, iterations=1)
     attach(benchmark, result)
     assert result.rows[0].pct_buggy == 0.0

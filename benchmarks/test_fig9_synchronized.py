@@ -2,7 +2,8 @@
 
 import pytest
 
-from benchmarks.conftest import FULL, attach, figure_kwargs, reps, scales
+from benchmarks.conftest import (FULL, attach, figure_kwargs, make_runner,
+                                 reps, scales)
 from repro.experiments import fig9_synchronized as fig9
 
 
@@ -13,7 +14,7 @@ def test_fig9_synchronized(benchmark):
     result = benchmark.pedantic(
         lambda: fig9.run_experiment(reps=n_reps, scales=use_scales,
                                     include_baseline=False,
-                                    **figure_kwargs()),
+                                    runner=make_runner(), **figure_kwargs()),
         rounds=1, iterations=1)
     attach(benchmark, result)
 
@@ -34,7 +35,7 @@ def test_fig9_bugfix_ablation(benchmark):
     result = benchmark.pedantic(
         lambda: fig9.run_experiment(reps=4, scales=use_scales,
                                     include_baseline=False, bug_compat=False,
-                                    **figure_kwargs()),
+                                    runner=make_runner(), **figure_kwargs()),
         rounds=1, iterations=1)
     attach(benchmark, result)
     for row in result.rows:

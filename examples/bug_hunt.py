@@ -23,10 +23,14 @@ Step 4 (the fix): flip ``bug_compat=False`` (epoch-tagged closures) and
         the Step-3 scenario terminates every time.
 
 Run:  python examples/bug_hunt.py          (~2-4 minutes, reduced scale)
+      add --workers N to fan the repetitions over N processes
 """
+
+import argparse
 
 from repro.experiments import (fig7_simultaneous, fig9_synchronized,
                                fig11_state_sync)
+from repro.experiments.runner import add_runner_arguments, runner_from_args
 
 # Reduced scale so the whole hunt replays in minutes: BT-16 with a
 # shorter compute budget (wave duration — the quantity that matters —
@@ -36,13 +40,16 @@ SCALE = dict(n_procs=16, n_machines=20)
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_runner_arguments(parser)
+    runner = runner_from_args(parser.parse_args())
     print(__doc__)
 
     print("=" * 72)
     print("STEP 1 — simultaneous faults (Fig. 7 shape)")
     print("=" * 72, flush=True)
     r7 = fig7_simultaneous.run_experiment(reps=4, batches=(1, 5),
-                                          **SCALE, **QUICK)
+                                          runner=runner, **SCALE, **QUICK)
     print(r7.render())
     print()
 
@@ -50,7 +57,8 @@ def main():
     print("STEP 2 — faults synchronized on the recovery wave (Fig. 9 shape)")
     print("=" * 72, flush=True)
     r9 = fig9_synchronized.run_experiment(reps=6, scales=(16,),
-                                          include_baseline=False, **QUICK)
+                                          include_baseline=False,
+                                          runner=runner, **QUICK)
     print(r9.render())
     print()
 
@@ -58,7 +66,8 @@ def main():
     print("STEP 3 — faults synchronized on MPI state (Fig. 11 shape)")
     print("=" * 72, flush=True)
     r11 = fig11_state_sync.run_experiment(reps=4, scales=(16,),
-                                          include_baseline=False, **QUICK)
+                                          include_baseline=False,
+                                          runner=runner, **QUICK)
     print(r11.render())
     assert r11.rows[0].pct_buggy == 100.0
     print()
@@ -71,7 +80,8 @@ def main():
     print("=" * 72, flush=True)
     fixed = fig11_state_sync.run_experiment(reps=4, scales=(16,),
                                             include_baseline=False,
-                                            bug_compat=False, **QUICK)
+                                            bug_compat=False,
+                                            runner=runner, **QUICK)
     print(fixed.render())
     assert fixed.rows[0].pct_terminated == 100.0
     print()

@@ -26,16 +26,20 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true",
                         help="paper scale: BT-49 on 53 machines")
+    from repro.experiments.runner import add_runner_arguments, runner_from_args
+    add_runner_arguments(parser)
     args = parser.parse_args()
+    runner = runner_from_args(args)
 
     if args.full:
-        result = cp.run_experiment(reps=3)
+        result = cp.run_experiment(reps=3, runner=runner)
         periods = cp.PERIODS
     else:
         periods = (None, 50, 40)
         result = cp.run_experiment(reps=2, periods=periods,
                                    n_procs=16, n_machines=20,
-                                   niters=40, total_compute=2400.0)
+                                   niters=40, total_compute=2400.0,
+                                   runner=runner)
 
     print(result.render())
     print()

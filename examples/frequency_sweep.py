@@ -11,6 +11,7 @@ Run:  python examples/frequency_sweep.py [--full]
 import argparse
 
 from repro.experiments import fig5_frequency
+from repro.experiments.runner import add_runner_arguments, runner_from_args
 
 
 def ascii_plot(result, width=46):
@@ -39,15 +40,18 @@ def main():
     parser.add_argument("--full", action="store_true",
                         help="paper scale: BT-49 on 53 machines, 6 reps")
     parser.add_argument("--reps", type=int, default=None)
+    add_runner_arguments(parser)
     args = parser.parse_args()
+    runner = runner_from_args(args)
 
     if args.full:
-        result = fig5_frequency.run_experiment(reps=args.reps or 6)
+        result = fig5_frequency.run_experiment(reps=args.reps or 6,
+                                               runner=runner)
     else:
         result = fig5_frequency.run_experiment(
             reps=args.reps or 3, n_procs=16, n_machines=20,
             periods=(None, 65, 60, 55, 50, 45, 40),
-            niters=40, total_compute=2400.0)
+            niters=40, total_compute=2400.0, runner=runner)
 
     print(result.render())
     print()

@@ -1,16 +1,26 @@
 #!/usr/bin/env python
 """Regenerate every table and figure of the paper at full scale.
 
-Writes the rendered tables to stdout (tee it into a file).  This is
-what EXPERIMENTS.md records; expect ~30-45 minutes of wall time.
+Writes the rendered tables to stdout (tee it into a file) and a
+machine-readable campaign summary — per-figure wall-clock, trial
+counts and cache hit rate — to ``BENCH_full.json`` so future changes
+have a perf trajectory to compare against.
+
+Serial from a cold cache this is ~30-45 minutes of wall time; pass
+``--workers N`` to fan trials out over N processes and ``--cache-dir``
+to make interrupted campaigns resumable (a re-run executes only the
+trials that are missing from the cache).
 """
 
+import argparse
+import json
 import time
 
 from repro.experiments import (fig5_frequency, fig6_scale, fig7_simultaneous,
                                fig9_synchronized, fig11_state_sync,
                                table1_tools)
 from repro.experiments.fig6_scale import variance_by_scale
+from repro.experiments.runner import add_runner_arguments, runner_from_args
 
 
 def banner(text):
@@ -20,47 +30,98 @@ def banner(text):
     print("#" * 72, flush=True)
 
 
-def timed(fn, *args, **kwargs):
-    t0 = time.time()
-    result = fn(*args, **kwargs)
-    print(result.render())
-    print(f"[wall time: {time.time() - t0:.0f}s]", flush=True)
-    return result
+class CampaignTimer:
+    """Times each figure and attributes runner stats deltas to it."""
+
+    def __init__(self, runner):
+        self.runner = runner
+        self.figures = {}
+
+    def timed(self, key, fn, *args, **kwargs):
+        executed0, hits0 = self.runner.stats.snapshot()
+        t0 = time.time()
+        result = fn(*args, runner=self.runner, **kwargs)
+        wall = time.time() - t0
+        print(result.render())
+        print(f"[wall time: {wall:.0f}s]", flush=True)
+        executed1, hits1 = self.runner.stats.snapshot()
+        trials = sum(row.n for row in result.rows)
+        hits = hits1 - hits0
+        self.figures[key] = {
+            "wall_time_s": round(wall, 3),
+            "trials": trials,
+            "executed": executed1 - executed0,
+            "cache_hits": hits,
+            "cache_hit_rate": round(hits / trials, 4) if trials else 0.0,
+        }
+        return result
+
+    def summary(self, args, total_wall):
+        stats = self.runner.stats
+        return {
+            "campaign": "run_full_experiments",
+            "workers": args.workers,
+            "cache_dir": args.cache_dir,
+            "cache_enabled": bool(args.cache_dir) and not args.no_cache,
+            "total_wall_time_s": round(total_wall, 3),
+            "total_trials": stats.total,
+            "total_executed": stats.executed,
+            "total_cache_hits": stats.cache_hits,
+            "cache_hit_rate": round(stats.hit_rate, 4),
+            "figures": self.figures,
+        }
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench-out", default="BENCH_full.json",
+                        metavar="FILE",
+                        help="where to write the campaign summary JSON")
+    add_runner_arguments(parser)
+    args = parser.parse_args()
+    runner = runner_from_args(args)
+    campaign = CampaignTimer(runner)
+    t0 = time.time()
+
     banner("Table §2.1 — tool comparison")
     print(table1_tools.render(), flush=True)
 
     banner("Fig. 5 — impact of fault frequency (BT-49, 53 machines, 6 reps)")
-    timed(fig5_frequency.run_experiment)
+    campaign.timed("fig5", fig5_frequency.run_experiment)
 
     banner("Fig. 6 — impact of scale (1 fault / 50 s, 5 reps)")
-    r6 = timed(fig6_scale.run_experiment)
+    r6 = campaign.timed("fig6", fig6_scale.run_experiment)
     print("faulty-run stdev by scale (the paper's variance argument):")
     for scale, sd in variance_by_scale(r6):
         print(f"  BT {scale}: stdev = {sd if sd is None else round(sd, 1)}")
 
     banner("Fig. 7 — impact of simultaneous faults (BT-49, 6 reps)")
-    timed(fig7_simultaneous.run_experiment)
+    campaign.timed("fig7", fig7_simultaneous.run_experiment)
 
     banner("Fig. 7 ablation — same scenario, dispatcher bug FIXED")
-    timed(fig7_simultaneous.run_experiment, reps=3, batches=(5,),
-          bug_compat=False)
+    campaign.timed("fig7_fixed", fig7_simultaneous.run_experiment,
+                   reps=3, batches=(5,), bug_compat=False)
 
     banner("Fig. 9 — synchronized faults (2 faults, onload-timed, 6 reps)")
-    timed(fig9_synchronized.run_experiment)
+    campaign.timed("fig9", fig9_synchronized.run_experiment)
 
     banner("Fig. 9 ablation — dispatcher bug FIXED")
-    timed(fig9_synchronized.run_experiment, reps=3, include_baseline=False,
-          bug_compat=False)
+    campaign.timed("fig9_fixed", fig9_synchronized.run_experiment,
+                   reps=3, include_baseline=False, bug_compat=False)
 
     banner("Fig. 11 — state-synchronized faults (breakpoint, 6 reps)")
-    timed(fig11_state_sync.run_experiment)
+    campaign.timed("fig11", fig11_state_sync.run_experiment)
 
     banner("Fig. 11 ablation — dispatcher bug FIXED")
-    timed(fig11_state_sync.run_experiment, reps=3, include_baseline=False,
-          bug_compat=False)
+    campaign.timed("fig11_fixed", fig11_state_sync.run_experiment,
+                   reps=3, include_baseline=False, bug_compat=False)
+
+    summary = campaign.summary(args, time.time() - t0)
+    with open(args.bench_out, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2)
+        fh.write("\n")
+    banner(f"campaign summary written to {args.bench_out}")
+    print(json.dumps(summary, indent=2), flush=True)
 
 
 if __name__ == "__main__":

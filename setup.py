@@ -1,16 +1,22 @@
-"""Classic setup shim.
+"""Classic setup shim for wheel-less environments.
 
-The evaluation environment has setuptools but no ``wheel`` package, so
-PEP 660 editable installs (``pip install -e .``) cannot build; use
-``python setup.py develop`` (what our Makefile/README recommend) — it
-produces an egg-link editable install with no wheel dependency.
+Project metadata lives in ``pyproject.toml`` (what CI's
+``pip install -e .[dev]`` reads).  This shim exists because the
+evaluation environment has setuptools but no ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build there;
+``python setup.py develop`` still produces an egg-link editable
+install with no wheel dependency.
 """
 
 from setuptools import find_packages, setup
 
+# name/version/python_requires are duplicated from pyproject.toml on
+# purpose: setuptools < 61 (the wheel-less environments this shim
+# serves) does not read [project] metadata during setup.py runs and
+# would otherwise install the package as "UNKNOWN 0.0.0".
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=("Reproduction of FAIL-MPI: fault injection for "
                  "fault-tolerant MPI (Herault et al., CLUSTER 2006)"),
     package_dir={"": "src"},

@@ -1,7 +1,9 @@
 """Command-line entry point: ``python -m repro <experiment> [...]``.
 
 Dispatches to the per-figure experiment drivers; each accepts its own
-flags (``--reps``, ``--procs``, ``--fixed``, …).
+flags (``--reps``, ``--procs``, ``--fixed``, …) plus the shared trial
+execution flags (``--workers N``, ``--cache-dir DIR``, ``--no-cache``)
+from :mod:`repro.experiments.runner`.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ def usage() -> str:
     for name, (_module, blurb) in COMMANDS.items():
         lines.append(f"  {name:<8} {blurb}")
     lines.append("")
+    lines.append("shared flags: --workers N  --cache-dir DIR  --no-cache")
     lines.append("pass --help after a command for its options")
     return "\n".join(lines)
 

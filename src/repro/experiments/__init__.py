@@ -2,6 +2,10 @@
 
 * :mod:`repro.experiments.harness` — run/aggregate machinery shared by
   all experiments (timeout, repetition, outcome percentages);
+* :mod:`repro.experiments.runner` — parallel trial execution
+  (:class:`TrialRunner`) with an on-disk result cache;
+* :mod:`repro.experiments.resultstore` — JSON round-trip and storage
+  of per-trial results;
 * :mod:`repro.experiments.fig5_frequency` — impact of fault frequency;
 * :mod:`repro.experiments.fig6_scale` — impact of scale;
 * :mod:`repro.experiments.fig7_simultaneous` — simultaneous faults;
@@ -21,11 +25,17 @@ from repro.experiments.harness import (
     ExperimentRow,
     TrialSetup,
     run_trials,
+    trial_seed,
 )
+from repro.experiments.runner import RunnerStats, TrialRunner, trial_key
 
 __all__ = [
     "ExperimentResult",
     "ExperimentRow",
+    "RunnerStats",
+    "TrialRunner",
     "TrialSetup",
     "run_trials",
+    "trial_key",
+    "trial_seed",
 ]

@@ -24,6 +24,8 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.harness import ExperimentResult, TrialSetup, run_trials
+from repro.experiments.runner import (TrialRunner, add_runner_arguments,
+                                      runner_from_args)
 from repro.fail import builtin_scenarios as bs
 
 PERIODS: Sequence[Optional[int]] = (None, 65, 50, 40)
@@ -55,6 +57,7 @@ def run_experiment(reps: int = REPS,
                    n_procs: int = N_PROCS,
                    n_machines: int = N_MACHINES,
                    base_seed: int = 13000,
+                   runner: Optional[TrialRunner] = None,
                    **workload_kwargs) -> ExperimentResult:
     configs: List[Tuple[str, Optional[int]]] = []
     labels: List[str] = []
@@ -70,7 +73,7 @@ def run_experiment(reps: int = REPS,
         configs=configs, labels=labels, reps=reps,
         name=(f"Protocol comparison — Vcl vs V2 under the Fig. 5 scenario "
               f"(BT {n_procs})"),
-        base_seed=base_seed)
+        base_seed=base_seed, runner=runner)
 
 
 def crossover_summary(result: ExperimentResult,
@@ -100,9 +103,11 @@ def main() -> None:  # pragma: no cover - CLI
     parser.add_argument("--reps", type=int, default=REPS)
     parser.add_argument("--procs", type=int, default=N_PROCS)
     parser.add_argument("--machines", type=int, default=N_MACHINES)
+    add_runner_arguments(parser)
     args = parser.parse_args()
     result = run_experiment(reps=args.reps, n_procs=args.procs,
-                            n_machines=args.machines)
+                            n_machines=args.machines,
+                            runner=runner_from_args(args))
     print(result.render())
     print()
     print(crossover_summary(result))

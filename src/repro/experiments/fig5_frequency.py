@@ -21,6 +21,8 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.experiments.harness import ExperimentResult, TrialSetup, run_trials
+from repro.experiments.runner import (TrialRunner, add_runner_arguments,
+                                      runner_from_args)
 from repro.fail import builtin_scenarios as bs
 
 #: paper x-axis: no faults, then one fault every X seconds
@@ -63,6 +65,7 @@ def run_experiment(reps: int = REPS,
                    n_procs: int = N_PROCS,
                    n_machines: int = N_MACHINES,
                    base_seed: int = 5000,
+                   runner: Optional[TrialRunner] = None,
                    **workload_kwargs) -> ExperimentResult:
     labels = ["no faults" if p is None else f"every {p} sec" for p in periods]
     return run_trials(
@@ -72,7 +75,8 @@ def run_experiment(reps: int = REPS,
         labels=labels,
         reps=reps,
         name=f"Fig. 5 — impact of fault frequency (BT {n_procs})",
-        base_seed=base_seed)
+        base_seed=base_seed,
+        runner=runner)
 
 
 def main() -> None:  # pragma: no cover - CLI
@@ -81,9 +85,11 @@ def main() -> None:  # pragma: no cover - CLI
     parser.add_argument("--reps", type=int, default=REPS)
     parser.add_argument("--procs", type=int, default=N_PROCS)
     parser.add_argument("--machines", type=int, default=N_MACHINES)
+    add_runner_arguments(parser)
     args = parser.parse_args()
     result = run_experiment(reps=args.reps, n_procs=args.procs,
-                            n_machines=args.machines)
+                            n_machines=args.machines,
+                            runner=runner_from_args(args))
     print(result.render())
 
 

@@ -18,11 +18,13 @@ Expected shape (paper §5.2):
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.harness import (ExperimentResult, TrialSetup,
                                        run_trials)
 from repro.experiments.fig5_frequency import setup_for_period
+from repro.experiments.runner import (TrialRunner, add_runner_arguments,
+                                      runner_from_args)
 
 SCALES: Sequence[int] = (25, 36, 49, 64)
 FAULT_PERIOD = 50
@@ -33,6 +35,7 @@ def run_experiment(reps: int = REPS,
                    scales: Sequence[int] = SCALES,
                    fault_period: int = FAULT_PERIOD,
                    base_seed: int = 6000,
+                   runner: Optional[TrialRunner] = None,
                    **workload_kwargs) -> ExperimentResult:
     configs: List[Tuple[int, bool]] = []
     labels: List[str] = []
@@ -52,7 +55,7 @@ def run_experiment(reps: int = REPS,
     return run_trials(
         setup_for=setup_for, configs=configs, labels=labels, reps=reps,
         name=f"Fig. 6 — impact of scale (1 fault / {fault_period} s)",
-        base_seed=base_seed)
+        base_seed=base_seed, runner=runner)
 
 
 def variance_by_scale(result: ExperimentResult, fault_period: int = FAULT_PERIOD):
@@ -70,8 +73,10 @@ def main() -> None:  # pragma: no cover - CLI
     import argparse
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--reps", type=int, default=REPS)
+    add_runner_arguments(parser)
     args = parser.parse_args()
-    print(run_experiment(reps=args.reps).render())
+    print(run_experiment(reps=args.reps,
+                         runner=runner_from_args(args)).render())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,9 +14,11 @@ and the dispatcher misattributes the closure.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.harness import ExperimentResult, TrialSetup, run_trials
+from repro.experiments.runner import (TrialRunner, add_runner_arguments,
+                                      runner_from_args)
 from repro.fail import builtin_scenarios as bs
 
 BATCH_SIZES: Sequence[int] = (1, 2, 3, 4, 5)
@@ -45,6 +47,7 @@ def run_experiment(reps: int = REPS,
                    n_machines: int = N_MACHINES,
                    bug_compat: bool = True,
                    base_seed: int = 7000,
+                   runner: Optional[TrialRunner] = None,
                    **workload_kwargs) -> ExperimentResult:
     return run_trials(
         setup_for=lambda x: setup_for_batch(
@@ -54,7 +57,7 @@ def run_experiment(reps: int = REPS,
         labels=[f"{x} fault{'s' if x > 1 else ''}" for x in batches],
         reps=reps,
         name=f"Fig. 7 — impact of simultaneous faults (BT {n_procs}, every 50 s)",
-        base_seed=base_seed)
+        base_seed=base_seed, runner=runner)
 
 
 def main() -> None:  # pragma: no cover - CLI
@@ -63,8 +66,10 @@ def main() -> None:  # pragma: no cover - CLI
     parser.add_argument("--reps", type=int, default=REPS)
     parser.add_argument("--fixed", action="store_true",
                         help="run with the dispatcher bug fixed (ablation)")
+    add_runner_arguments(parser)
     args = parser.parse_args()
-    print(run_experiment(reps=args.reps, bug_compat=not args.fixed).render())
+    print(run_experiment(reps=args.reps, bug_compat=not args.fixed,
+                         runner=runner_from_args(args)).render())
 
 
 if __name__ == "__main__":  # pragma: no cover

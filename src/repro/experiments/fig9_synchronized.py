@@ -14,10 +14,12 @@ works (spawn watch) or the misattribution bug bites.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.harness import ExperimentResult, TrialSetup, run_trials
 from repro.experiments.fig5_frequency import setup_for_period
+from repro.experiments.runner import (TrialRunner, add_runner_arguments,
+                                      runner_from_args)
 from repro.fail import builtin_scenarios as bs
 
 SCALES: Sequence[int] = (25, 36, 49, 64)
@@ -39,6 +41,7 @@ def run_experiment(reps: int = REPS,
                    bug_compat: bool = True,
                    include_baseline: bool = True,
                    base_seed: int = 9000,
+                   runner: Optional[TrialRunner] = None,
                    **workload_kwargs) -> ExperimentResult:
     configs: List[Tuple[int, bool]] = []
     labels: List[str] = []
@@ -59,7 +62,7 @@ def run_experiment(reps: int = REPS,
     return run_trials(
         setup_for=setup_for, configs=configs, labels=labels, reps=reps,
         name="Fig. 9 — impact of synchronized faults (2 faults, onload-timed)",
-        base_seed=base_seed)
+        base_seed=base_seed, runner=runner)
 
 
 def main() -> None:  # pragma: no cover - CLI
@@ -67,8 +70,10 @@ def main() -> None:  # pragma: no cover - CLI
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--reps", type=int, default=REPS)
     parser.add_argument("--fixed", action="store_true")
+    add_runner_arguments(parser)
     args = parser.parse_args()
-    print(run_experiment(reps=args.reps, bug_compat=not args.fixed).render())
+    print(run_experiment(reps=args.reps, bug_compat=not args.fixed,
+                         runner=runner_from_args(args)).render())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.classify import Outcome
 from repro.analysis.stats import confidence_interval, mean, stdev
+from repro.experiments.runner import TrialRunner
 from repro.fail.scenario import Binding, deploy_scenario
 from repro.mpichv.config import VclConfig
 from repro.mpichv.runtime import RunResult, VclRuntime
@@ -96,17 +97,21 @@ class ExperimentRow:
     def count(self, outcome: Outcome) -> int:
         return sum(1 for r in self.results if r.outcome is outcome)
 
+    def _pct(self, outcome: Outcome) -> float:
+        """Outcome share; an empty row has no runs in any class."""
+        return 100.0 * self.count(outcome) / self.n if self.n else 0.0
+
     @property
     def pct_terminated(self) -> float:
-        return 100.0 * self.count(Outcome.TERMINATED) / self.n
+        return self._pct(Outcome.TERMINATED)
 
     @property
     def pct_non_terminating(self) -> float:
-        return 100.0 * self.count(Outcome.NON_TERMINATING) / self.n
+        return self._pct(Outcome.NON_TERMINATING)
 
     @property
     def pct_buggy(self) -> float:
-        return 100.0 * self.count(Outcome.BUGGY) / self.n
+        return self._pct(Outcome.BUGGY)
 
     @property
     def exec_times(self) -> List[float]:
@@ -164,21 +169,53 @@ class ExperimentResult:
         raise KeyError(label)
 
 
+def trial_seed(base_seed: int, config_index: int, rep: int) -> int:
+    """Seed for repetition ``rep`` of the ``config_index``-th config.
+
+    The scheme is ``base_seed + 7919 * config_index + rep`` (7919 is
+    the 1000th prime, comfortably larger than any repetition count, so
+    configs can never collide).  Seeds are a pure function of the
+    campaign *layout* — never of scheduling: :func:`run_trials`
+    computes the full job list up front and hands it to the runner, so
+    worker count, completion order, and cache hits cannot change which
+    seed a trial gets.  That is what makes ``workers=N`` bit-for-bit
+    reproducible against ``workers=1``.
+    """
+    return base_seed + 7919 * config_index + rep
+
+
 def run_trials(setup_for: Callable[[object], TrialSetup],
                configs: Sequence,
                labels: Sequence[str],
                reps: int,
                name: str,
-               base_seed: int = 1000) -> ExperimentResult:
+               base_seed: int = 1000,
+               runner: Optional[TrialRunner] = None,
+               workers: int = 1,
+               cache_dir: Optional[str] = None,
+               use_cache: bool = True) -> ExperimentResult:
     """Run ``reps`` repetitions of each configuration.
 
     ``setup_for(config)`` builds the TrialSetup for one x-axis value.
-    Seeds are derived deterministically from (config index, rep).
+    Seeds come from :func:`trial_seed` — deterministic in
+    ``(config index, rep)`` and independent of execution order.
+
+    Execution is delegated to a :class:`TrialRunner`: pass one
+    explicitly to share a pool/cache/stats across figures, or let the
+    ``workers`` / ``cache_dir`` / ``use_cache`` knobs build a private
+    one.  The whole campaign is submitted as a single flat job list so
+    a multi-worker pool stays busy across row boundaries.
     """
-    rows: List[ExperimentRow] = []
-    for ci, (config, label) in enumerate(zip(configs, labels)):
-        setup = setup_for(config)
-        results = [setup.run_one(seed=base_seed + 7919 * ci + rep)
-                   for rep in range(reps)]
-        rows.append(ExperimentRow(label=label, results=results))
+    if runner is None:
+        runner = TrialRunner(workers=workers, cache_dir=cache_dir,
+                             use_cache=use_cache)
+    pairs = list(zip(configs, labels))
+    setups = [setup_for(config) for config, _label in pairs]
+    jobs = [(setup, trial_seed(base_seed, ci, rep))
+            for ci, setup in enumerate(setups)
+            for rep in range(reps)]
+    flat = runner.run_jobs(jobs)
+    rows = [ExperimentRow(label=label,
+                          results=flat[ci * reps:(ci + 1) * reps])
+            for ci, (_config, label) in enumerate(pairs)]
     return ExperimentResult(name=name, rows=rows)

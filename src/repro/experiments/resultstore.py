@@ -1,0 +1,178 @@
+"""Serialization and on-disk storage of :class:`RunResult`.
+
+The parallel runner (:mod:`repro.experiments.runner`) needs two things
+from a trial result that the live object cannot give it directly:
+
+* a *wire form* it can ship back from a worker process — the live
+  :class:`~repro.analysis.traces.Trace` carries subscriber callables
+  (the runtime's ``app_done`` stop hook) and is therefore not
+  picklable as-is;
+* a *rest form* it can write to the result cache so a re-run of a
+  figure, or a resumed campaign, skips trials that already computed.
+
+Both are the same JSON document, produced by :func:`run_result_to_dict`
+and consumed by :func:`run_result_from_dict`.  The round trip preserves
+everything the experiment layer reads: the verdict, the headline
+counters, the trace counters (``counts`` / ``first_time`` /
+``last_time``) and — when the trial kept them — the full trace records.
+Trace *listeners* are deliberately dropped: they are live wiring, not
+results.
+
+:class:`ResultStore` is the cache: one JSON file per trial under a
+root directory, written atomically so an interrupted campaign never
+leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro.analysis.classify import Outcome, RunVerdict
+from repro.analysis.traces import Trace, TraceRecord
+from repro.mpichv.runtime import RunResult
+
+#: bump when the document layout changes; readers reject other versions
+FORMAT_VERSION = 1
+
+
+def _json_safe(value: Any) -> Any:
+    """Best-effort conversion of a trace field to a JSON value."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+def trace_to_dict(trace: Trace) -> Dict[str, Any]:
+    return {
+        "keep": trace.keep,
+        "counts": dict(trace.counts),
+        "first_time": dict(trace.first_time),
+        "last_time": dict(trace.last_time),
+        "records": [[r.t, r.kind, _json_safe(r.fields)]
+                    for r in trace.records],
+    }
+
+
+def trace_from_dict(doc: Dict[str, Any]) -> Trace:
+    trace = Trace(keep=bool(doc.get("keep", False)))
+    trace.counts = dict(doc.get("counts", {}))
+    trace.first_time = dict(doc.get("first_time", {}))
+    trace.last_time = dict(doc.get("last_time", {}))
+    trace.records = [TraceRecord(t, kind, fields)
+                     for t, kind, fields in doc.get("records", [])]
+    return trace
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """JSON-safe document capturing one trial's result."""
+    verdict = result.verdict
+    return {
+        "format": FORMAT_VERSION,
+        "verdict": {
+            "outcome": verdict.outcome.value,
+            "exec_time": verdict.exec_time,
+            "last_activity": verdict.last_activity,
+            "reason": verdict.reason,
+        },
+        "trace": trace_to_dict(result.trace),
+        "sim_time": result.sim_time,
+        "restarts": result.restarts,
+        "bug_events": result.bug_events,
+        "failures_detected": result.failures_detected,
+        "waves_committed": result.waves_committed,
+        "events_processed": result.events_processed,
+    }
+
+
+def run_result_from_dict(doc: Dict[str, Any]) -> RunResult:
+    """Inverse of :func:`run_result_to_dict`."""
+    version = doc.get("format")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported result format {version!r} "
+                         f"(expected {FORMAT_VERSION})")
+    v = doc["verdict"]
+    verdict = RunVerdict(
+        outcome=Outcome(v["outcome"]),
+        exec_time=v["exec_time"],
+        last_activity=v["last_activity"],
+        reason=v["reason"],
+    )
+    return RunResult(
+        verdict=verdict,
+        trace=trace_from_dict(doc.get("trace", {})),
+        sim_time=doc["sim_time"],
+        restarts=doc["restarts"],
+        bug_events=doc["bug_events"],
+        failures_detected=doc["failures_detected"],
+        waves_committed=doc["waves_committed"],
+        events_processed=doc["events_processed"],
+    )
+
+
+class ResultStore:
+    """Directory of per-trial JSON documents keyed by the trial hash.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` — two-level sharding keeps
+    directory listings manageable for campaigns with tens of thousands
+    of trials.  Writes go through a temp file + :func:`os.replace` so a
+    killed run can always be resumed against an uncorrupted store.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        try:
+            os.makedirs(root, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as err:
+            raise NotADirectoryError(
+                f"result cache path {root!r} exists and is not a "
+                f"directory") from err
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The stored result, or None on miss / unreadable entry."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            return run_result_from_dict(doc)
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            # unreadable, truncated, version-skewed or wrong-shaped
+            # entries all read as a miss: the trial just re-executes
+            return None
+
+    def put(self, key: str, result: RunResult) -> None:
+        self.put_dict(key, run_result_to_dict(result))
+
+    def put_dict(self, key: str, doc: Dict[str, Any]) -> None:
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        n = 0
+        for _dir, _subdirs, files in os.walk(self.root):
+            n += sum(1 for f in files if f.endswith(".json"))
+        return n

@@ -1,0 +1,184 @@
+"""Parallel trial execution with an on-disk result cache.
+
+Every trial in a campaign is an independent, seed-deterministic
+simulation, so a figure's worth of repetitions is embarrassingly
+parallel: :class:`TrialRunner` fans trials out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` (``workers > 1``) or
+runs them in-process (``workers=1``, the default — byte-identical to
+the historical serial path).
+
+**Determinism contract.**  A trial is fully determined by its
+``(TrialSetup, seed)`` pair; seeds are derived *before* any scheduling
+decision (see :func:`repro.experiments.harness.run_trials`), so the
+worker count can never change which simulations run or what they
+produce — only how long the wall clock takes.  Results are returned in
+submission order regardless of completion order.
+
+**Caching.**  With a ``cache_dir``, each finished trial is written to a
+:class:`~repro.experiments.resultstore.ResultStore` under
+:func:`trial_key` — a stable hash of the setup's fields and the seed.
+Re-running a figure (or resuming an interrupted campaign) loads hits
+from the store and executes only the missing trials; a fully-cached
+re-run executes zero.  ``use_cache=False`` ignores the store entirely
+(neither reads nor writes).
+
+Workers ship results back in the JSON wire form (the live trace holds
+subscriber callables and cannot cross a process boundary), so results
+produced by a pool worker — like results loaded from the cache — carry
+a reconstructed :class:`~repro.analysis.traces.Trace` with identical
+counters and records but no listeners.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.experiments.resultstore import (ResultStore, run_result_from_dict,
+                                           run_result_to_dict)
+from repro.mpichv.runtime import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.experiments.harness import TrialSetup
+
+#: bump to invalidate every existing cache entry (key derivation or
+#: simulation semantics changed)
+CACHE_VERSION = 1
+
+
+def trial_key(setup: "TrialSetup", seed: int) -> str:
+    """Stable cache key for one ``(setup, seed)`` trial.
+
+    The key hashes the canonical JSON of *every* :class:`TrialSetup`
+    field plus the seed and :data:`CACHE_VERSION`, so any change to the
+    configuration — scale, scenario source, protocol, workload
+    calibration, ... — lands in a different cache slot.
+    """
+    doc = {
+        "version": CACHE_VERSION,
+        "seed": seed,
+        "setup": dataclasses.asdict(setup),
+    }
+    canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"),
+                           default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class RunnerStats:
+    """Where a campaign's trials came from."""
+
+    executed: int = 0
+    cache_hits: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.cache_hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+    def snapshot(self) -> Tuple[int, int]:
+        return (self.executed, self.cache_hits)
+
+
+def _execute_trial_wire(setup: "TrialSetup", seed: int) -> dict:
+    """Pool worker entry point: run one trial, return its wire form."""
+    return run_result_to_dict(setup.run_one(seed))
+
+
+class TrialRunner:
+    """Executes batches of ``(TrialSetup, seed)`` trials.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool width.  ``1`` (default) runs every trial
+        in-process, serially, preserving the pre-runner behaviour
+        exactly (live traces included).
+    cache_dir:
+        Root of the on-disk result store; ``None`` disables caching.
+    use_cache:
+        ``False`` makes the runner ignore ``cache_dir`` entirely —
+        nothing is read from or written to the store.
+    """
+
+    def __init__(self, workers: int = 1,
+                 cache_dir: Optional[str] = None,
+                 use_cache: bool = True):
+        self.workers = max(1, int(workers))
+        self.store: Optional[ResultStore] = (
+            ResultStore(cache_dir) if (cache_dir and use_cache) else None)
+        self.stats = RunnerStats()
+
+    def run_jobs(self, jobs: Sequence[Tuple["TrialSetup", int]]
+                 ) -> List[RunResult]:
+        """Run (or load) every job; results align with ``jobs`` order."""
+        results: List[Optional[RunResult]] = [None] * len(jobs)
+        keys: List[Optional[str]] = [None] * len(jobs)
+        pending: List[int] = []
+        for i, (setup, seed) in enumerate(jobs):
+            if self.store is not None:
+                keys[i] = trial_key(setup, seed)
+                cached = self.store.get(keys[i])
+                if cached is not None:
+                    results[i] = cached
+                    self.stats.cache_hits += 1
+                    continue
+            pending.append(i)
+
+        if pending and self.workers == 1:
+            for i in pending:
+                setup, seed = jobs[i]
+                result = setup.run_one(seed)
+                self.stats.executed += 1
+                if self.store is not None:
+                    self.store.put(keys[i], result)
+                results[i] = result
+        elif pending:
+            self._run_pool(jobs, pending, keys, results)
+        return results  # type: ignore[return-value]  # every slot filled
+
+    def _run_pool(self, jobs, pending, keys, results) -> None:
+        width = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=width) as pool:
+            futures = {
+                pool.submit(_execute_trial_wire, jobs[i][0], jobs[i][1]): i
+                for i in pending}
+            for future in as_completed(futures):
+                i = futures[future]
+                doc = future.result()
+                self.stats.executed += 1
+                if self.store is not None:
+                    self.store.put_dict(keys[i], doc)
+                results[i] = run_result_from_dict(doc)
+
+
+# -- CLI plumbing shared by every experiment driver --------------------------
+
+def add_runner_arguments(parser) -> None:
+    """Attach the shared ``--workers`` / ``--cache-dir`` / ``--no-cache``
+    flags to an :mod:`argparse` parser."""
+    group = parser.add_argument_group("trial execution")
+    group.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run trials over N worker processes (default: 1, serial)")
+    group.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache per-trial results under DIR; re-runs and resumed "
+             "campaigns skip already-computed trials")
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore the cache entirely (neither read nor write)")
+
+
+def runner_from_args(args) -> TrialRunner:
+    """Build the :class:`TrialRunner` described by parsed CLI args."""
+    return TrialRunner(workers=getattr(args, "workers", 1),
+                       cache_dir=getattr(args, "cache_dir", None),
+                       use_cache=not getattr(args, "no_cache", False))

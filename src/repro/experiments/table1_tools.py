@@ -110,6 +110,16 @@ def render() -> str:
 
 
 def main() -> None:  # pragma: no cover - CLI
+    import argparse
+
+    from repro.experiments.runner import add_runner_arguments
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    # The table is regenerated from the registry — no trials run — but
+    # every `python -m repro` subcommand accepts the shared runner
+    # flags so campaign scripts can pass them uniformly.
+    add_runner_arguments(parser)
+    parser.parse_args()
     print(render())
     print()
     print("FAIL-FCI evidence in this repository:")

@@ -38,6 +38,14 @@ def test_frequency_sweep_reduced(capsys):
     run_example("examples/frequency_sweep.py", ["--reps", "1"])
     out = capsys.readouterr().out
     assert "Fig. 5" in out
+
+
+def test_frequency_sweep_parallel_workers(capsys):
+    # same sweep through the shared --workers flag (runner CLI plumbing)
+    run_example("examples/frequency_sweep.py",
+                ["--reps", "1", "--workers", "2"])
+    out = capsys.readouterr().out
+    assert "Fig. 5" in out
     assert "time" in out
 
 

@@ -7,7 +7,7 @@ from repro.experiments import table1_tools
 from repro.experiments.fig5_frequency import setup_for_period
 from repro.experiments.fig7_simultaneous import setup_for_batch
 from repro.experiments.harness import (ExperimentResult, ExperimentRow,
-                                       TrialSetup, run_trials)
+                                       run_trials)
 from repro.mpichv.runtime import RunResult
 
 QUICK = dict(niters=10, total_compute=180.0, footprint=1e8)
@@ -44,6 +44,19 @@ def test_row_without_finishers():
     assert row.mean_exec_time is None
     assert row.stdev_exec_time is None
     assert row.ci_exec_time is None
+
+
+def test_empty_row_percentages_are_zero():
+    """Regression: an empty row used to raise ZeroDivisionError."""
+    row = ExperimentRow(label="empty", results=[])
+    assert row.n == 0
+    assert row.pct_terminated == 0.0
+    assert row.pct_non_terminating == 0.0
+    assert row.pct_buggy == 0.0
+    assert row.total_faults == 0
+    # and it renders instead of crashing the whole table
+    text = ExperimentResult(name="d", rows=[row]).render()
+    assert "empty" in text
 
 
 def test_result_render_and_lookup():

@@ -1,8 +1,6 @@
 """Tests for the FAIL daemon's serialized event handling and runtime
 API corners (deploy idempotence, run-after-timeout state)."""
 
-import pytest
-
 from repro.analysis.classify import Outcome
 from repro.fail.scenario import Binding, deploy_scenario
 from repro.mpichv.config import VclConfig

@@ -11,7 +11,6 @@ import pytest
 from repro.mpi import collectives as coll
 from repro.mpi.endpoint import MpiEndpoint
 from repro.simkernel.engine import Engine
-from repro.simkernel.store import Store
 
 
 class Router:

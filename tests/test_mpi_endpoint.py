@@ -9,7 +9,6 @@ import pytest
 from repro.mpi.endpoint import MpiEndpoint, UNMATCHED_KEY
 from repro.mpi.message import ANY, AppMessage
 from repro.simkernel.engine import Engine
-from repro.simkernel.store import Store
 
 
 class LoopbackTransport:

@@ -6,8 +6,6 @@ aborts, spares, and the difference between launch-time and run-time
 failure handling.
 """
 
-import pytest
-
 from repro.analysis.classify import Outcome
 from repro.mpichv.config import VclConfig
 from repro.mpichv.runtime import VclRuntime

@@ -7,8 +7,6 @@ rollbacks (no orphans, no duplicates) — and with the fixed dispatcher
 the run must always terminate (never freeze).
 """
 
-import math
-
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.analysis.classify import Outcome

@@ -8,7 +8,6 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.analysis.classify import Outcome
 from repro.cluster.cluster import Cluster
 from repro.fail.codegen import generate_python
-from repro.fail.lang import ast
 from repro.mpichv.config import VclConfig
 from repro.mpichv.runtime import VclRuntime
 from repro.simkernel.engine import Engine

@@ -1,8 +1,6 @@
 """Direct unit tests of the checkpoint scheduler through a live (but
 tiny) deployment, inspecting SchedulerState transitions."""
 
-import pytest
-
 from repro.mpichv.config import VclConfig
 from repro.mpichv.runtime import VclRuntime
 from repro.workloads.nas_bt import BTWorkload

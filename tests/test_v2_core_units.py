@@ -1,8 +1,6 @@
 """Direct unit tests of the V2 daemon core (dedup, pessimistic hold,
 replay staging, sender-log GC) — driven by hand, no full deployment."""
 
-import pytest
-
 from repro.cluster.cluster import Cluster
 from repro.mpi.endpoint import UNMATCHED_KEY
 from repro.mpi.message import AppMessage

@@ -6,8 +6,6 @@ cluster) to pin down marker semantics precisely: duplicate markers,
 late-channel logging windows, blocking-mode hold-back, scheduler acks.
 """
 
-import pytest
-
 from repro.cluster.cluster import Cluster
 from repro.mpi.endpoint import UNMATCHED_KEY
 from repro.mpi.message import AppMessage

@@ -1,4 +1,5 @@
-"""Benchmark for the Vcl-vs-V2 protocol comparison (the §6 use case)."""
+"""Benchmark for the Vcl-vs-V2-vs-V1 protocol comparison (the §6 use
+case, driven through the protocol registry)."""
 
 import pytest
 
@@ -26,18 +27,28 @@ def test_protocol_comparison(benchmark):
 
     # Shape assertions ([LBH+04] via our substrate):
     # (1) fault-free, coordinated checkpointing is at least as fast as
-    #     pessimistic logging;
+    #     either message-logging protocol;
     t_vcl0 = result.row("vcl no faults").mean_exec_time
     t_v20 = result.row("v2 no faults").mean_exec_time
+    t_v10 = result.row("v1 no faults").mean_exec_time
     assert t_vcl0 <= t_v20 * 1.02
-    # (2) at high fault frequency, message logging wins decisively;
+    assert t_vcl0 <= t_v10 * 1.02
+    # (2) at high fault frequency, message logging wins decisively.
+    #     V1 always finishes (remote logs survive overlapping faults);
+    #     V2 finishes at least as often as Vcl (its volatile sender
+    #     logs can stall when failures overlap a recovery — faithful);
     fastest_period = kwargs["periods"][-1]
     vcl_hi = result.row(f"vcl 1/{fastest_period}s")
+    v1_hi = result.row(f"v1 1/{fastest_period}s")
     v2_hi = result.row(f"v2 1/{fastest_period}s")
-    assert v2_hi.pct_terminated == 100.0
+    assert v1_hi.pct_terminated == 100.0
+    assert v2_hi.pct_terminated >= vcl_hi.pct_terminated
     if vcl_hi.mean_exec_time is not None:
-        assert v2_hi.mean_exec_time < vcl_hi.mean_exec_time
-    # (3) V2 never goes buggy here (no Vcl dispatcher restart waves).
+        for proto, row_hi in (("v2", v2_hi), ("v1", v1_hi)):
+            if row_hi.mean_exec_time is not None:
+                assert row_hi.mean_exec_time < vcl_hi.mean_exec_time, proto
+    # (3) the single-rank-restart protocols never go buggy here (no
+    #     Vcl dispatcher restart waves to misattribute closures in).
     for row in result.rows:
-        if row.label.startswith("v2"):
-            assert row.pct_buggy == 0.0
+        if row.label.startswith(("v2", "v1")):
+            assert row.pct_buggy == 0.0, row.label

@@ -1,17 +1,21 @@
 #!/usr/bin/env python
-"""Compare two fault-tolerance protocols under identical fault scenarios.
+"""Compare the MPICH-V family's fault-tolerance protocols under
+identical fault scenarios.
 
 The paper's conclusion proposes exactly this workflow: use FAIL-MPI to
 "evaluate many different implementations at large scales and compare
-them fairly under the same failure scenarios."  Here the two
-implementations are:
+them fairly under the same failure scenarios."  The implementations
+are every protocol in the registry (:mod:`repro.mpichv.protocols`):
 
 * **Vcl** — the paper's non-blocking coordinated Chandy-Lamport
   checkpointing: every failure rolls the whole application back;
 * **V2**  — pessimistic sender-based message logging with independent
-  checkpoints: only the failed rank restarts and replays.
+  checkpoints: only the failed rank restarts and replays;
+* **V1**  — remote pessimistic logging in Channel Memories: every
+  message transits a stable CM, so even simultaneous failures replay
+  cleanly — at the price of a double network hop per message.
 
-Both run the same BT workload, the same Fig. 5a fault scenario, the
+All run the same BT workload, the same Fig. 5a fault scenario, the
 same seeds.
 
 Run:  python examples/compare_protocols.py [--full]
@@ -46,14 +50,17 @@ def main():
     print(cp.crossover_summary(result, periods=periods))
     print()
     print("Reading the shape (cf. [LBH+04], cited by the paper):")
-    print(" * fault-free, coordinated checkpointing is the cheaper")
-    print("   protocol — pessimistic logging pays a stable-logger round")
-    print("   trip on every message;")
+    print(" * fault-free, coordinated checkpointing is the cheapest —")
+    print("   V2 pays a stable-logger round trip per message and V1")
+    print("   routes every message through a remote Channel Memory;")
     print(" * as faults come faster the ordering flips: a Vcl failure")
     print("   discards everyone's work back to the last committed wave,")
-    print("   a V2 failure replays one rank while survivors wait in")
-    print("   place — at 40 s periods Vcl stops progressing entirely")
-    print("   while V2 still finishes.")
+    print("   while a V2/V1 failure replays one rank as survivors wait")
+    print("   in place — at 40 s periods Vcl stops progressing entirely")
+    print("   while the message-logging protocols still finish;")
+    print(" * V1's remote logs additionally survive simultaneous")
+    print("   failures, where V2's volatile sender logs can stall")
+    print("   (see python -m repro fig7).")
 
 
 if __name__ == "__main__":

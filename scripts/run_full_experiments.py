@@ -16,9 +16,9 @@ import argparse
 import json
 import time
 
-from repro.experiments import (fig5_frequency, fig6_scale, fig7_simultaneous,
-                               fig9_synchronized, fig11_state_sync,
-                               table1_tools)
+from repro.experiments import (compare_protocols, fig5_frequency, fig6_scale,
+                               fig7_simultaneous, fig9_synchronized,
+                               fig11_state_sync, table1_tools)
 from repro.experiments.fig6_scale import variance_by_scale
 from repro.experiments.runner import add_runner_arguments, runner_from_args
 
@@ -115,6 +115,10 @@ def main():
     banner("Fig. 11 ablation — dispatcher bug FIXED")
     campaign.timed("fig11_fixed", fig11_state_sync.run_experiment,
                    reps=3, include_baseline=False, bug_compat=False)
+
+    banner("Protocol comparison — vcl vs v2 vs v1, identical scenarios (§6)")
+    rc = campaign.timed("compare_protocols", compare_protocols.run_experiment)
+    print(compare_protocols.crossover_summary(rc), flush=True)
 
     summary = campaign.summary(args, time.time() - t0)
     with open(args.bench_out, "w", encoding="utf-8") as fh:

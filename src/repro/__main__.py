@@ -18,15 +18,20 @@ COMMANDS = {
     "fig11": ("repro.experiments.fig11_state_sync",
               "state-synchronized faults"),
     "table1": ("repro.experiments.table1_tools", "tool comparison table"),
-    "compare": ("repro.experiments.compare_protocols",
-                "Vcl vs V2 under identical scenarios"),
+    "compare-protocols": ("repro.experiments.compare_protocols",
+                          "vcl vs v2 vs v1 under identical scenarios"),
+}
+
+#: legacy spellings kept working
+ALIASES = {
+    "compare": "compare-protocols",
 }
 
 
 def usage() -> str:
     lines = ["usage: python -m repro <command> [options]", "", "commands:"]
     for name, (_module, blurb) in COMMANDS.items():
-        lines.append(f"  {name:<8} {blurb}")
+        lines.append(f"  {name:<18} {blurb}")
     lines.append("")
     lines.append("shared flags: --workers N  --cache-dir DIR  --no-cache")
     lines.append("pass --help after a command for its options")
@@ -39,6 +44,7 @@ def main(argv=None) -> int:
         print(usage())
         return 0
     command = argv.pop(0)
+    command = ALIASES.get(command, command)
     entry = COMMANDS.get(command)
     if entry is None:
         print(f"unknown command {command!r}\n", file=sys.stderr)

@@ -6,17 +6,22 @@ large scales and compare them fairly under the same failure
 scenarios"* — citing the authors' own earlier comparison of message
 logging versus coordinated checkpointing [LBH+04].
 
-This experiment runs that comparison: Vcl (coordinated non-blocking
-Chandy-Lamport) versus V2 (pessimistic sender-based message logging)
-on BT, under the *same* Fig. 5a fault-frequency scenario with the same
-seeds.  Expected shape (cf. [LBH+04]):
+This experiment runs that comparison across the whole registered
+MPICH-V family — every protocol in
+:mod:`repro.mpichv.protocols` — on the same workload, under the *same*
+Fig. 5a fault-frequency scenario with the same seeds:
 
-* fault-free, Vcl wins — pessimistic logging pays a stable-logger
-  round trip per message;
-* under faults the ordering flips with frequency: every Vcl fault
-  rolls the whole application back to the last committed wave, while a
-  V2 fault replays a single rank; as the fault period shrinks, V2
-  keeps making progress where Vcl stalls.
+* **vcl** — coordinated non-blocking Chandy-Lamport: cheapest without
+  faults, but every failure rolls the whole application back;
+* **v2** — pessimistic sender-based message logging: a stable-logger
+  round trip per message, but a failure replays one rank only;
+* **v1** — remote pessimistic logging in Channel Memories: a double
+  network hop per message, single-rank restart, and (unlike V2) no
+  volatile state anywhere, so simultaneous failures are tolerated.
+
+Expected shape (cf. [LBH+04]): fault-free, Vcl wins; as the fault
+period shrinks the message-logging protocols keep making progress
+where Vcl stalls.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from repro.experiments.runner import (TrialRunner, add_runner_arguments,
 from repro.fail import builtin_scenarios as bs
 
 PERIODS: Sequence[Optional[int]] = (None, 65, 50, 40)
+PROTOCOLS: Sequence[str] = ("vcl", "v2", "v1")
 N_PROCS = 49
 N_MACHINES = 53
 REPS = 4
@@ -52,8 +58,14 @@ def setup_for(config: Tuple[str, Optional[int]],
         **kwargs)
 
 
+def _label(protocol: str, period: Optional[int]) -> str:
+    suffix = "no faults" if period is None else f"1/{period}s"
+    return f"{protocol} {suffix}"
+
+
 def run_experiment(reps: int = REPS,
                    periods: Sequence[Optional[int]] = PERIODS,
+                   protocols: Sequence[str] = PROTOCOLS,
                    n_procs: int = N_PROCS,
                    n_machines: int = N_MACHINES,
                    base_seed: int = 13000,
@@ -62,38 +74,43 @@ def run_experiment(reps: int = REPS,
     configs: List[Tuple[str, Optional[int]]] = []
     labels: List[str] = []
     for period in periods:
-        for protocol in ("vcl", "v2"):
+        for protocol in protocols:
             configs.append((protocol, period))
-            suffix = "no faults" if period is None else f"1/{period}s"
-            labels.append(f"{protocol} {suffix}")
+            labels.append(_label(protocol, period))
     return run_trials(
         setup_for=lambda c: setup_for(c, n_procs=n_procs,
                                       n_machines=n_machines,
                                       **workload_kwargs),
         configs=configs, labels=labels, reps=reps,
-        name=(f"Protocol comparison — Vcl vs V2 under the Fig. 5 scenario "
-              f"(BT {n_procs})"),
+        name=(f"Protocol comparison — {' vs '.join(protocols)} under the "
+              f"Fig. 5 scenario (BT {n_procs})"),
         base_seed=base_seed, runner=runner)
 
 
 def crossover_summary(result: ExperimentResult,
-                      periods: Sequence[Optional[int]] = PERIODS) -> str:
+                      periods: Sequence[Optional[int]] = PERIODS,
+                      protocols: Sequence[str] = PROTOCOLS) -> str:
     """Who wins at each fault period (the [LBH+04]-style digest)."""
-    lines = ["period     vcl (s)       v2 (s)      winner"]
+    def fmt(t: Optional[float]) -> str:
+        return "---" if t is None else f"{t:.1f}"
+
+    header = "   period" + "".join(f"{p + ' (s)':>13}" for p in protocols) \
+        + "   winner"
+    lines = [header]
     for period in periods:
         suffix = "no faults" if period is None else f"1/{period}s"
-        t_vcl = result.row(f"vcl {suffix}").mean_exec_time
-        t_v2 = result.row(f"v2 {suffix}").mean_exec_time
-        if t_vcl is None and t_v2 is None:
-            winner = "neither finishes"
-        elif t_vcl is None:
-            winner = "v2 (vcl stalls)"
-        elif t_v2 is None:
-            winner = "vcl (v2 stalls)"
+        times = {p: result.row(_label(p, period)).mean_exec_time
+                 for p in protocols}
+        finishers = {p: t for p, t in times.items() if t is not None}
+        if not finishers:
+            winner = "none finishes"
         else:
-            winner = "vcl" if t_vcl < t_v2 else "v2"
-        fmt = lambda t: "   ---  " if t is None else f"{t:8.1f}"
-        lines.append(f"{suffix:>9}  {fmt(t_vcl)}     {fmt(t_v2)}     {winner}")
+            best = min(finishers, key=finishers.get)
+            stalled = [p for p in protocols if p not in finishers]
+            winner = best + (f" ({', '.join(stalled)} stall)" if stalled
+                             else "")
+        cells = "".join(f"{fmt(times[p]):>13}" for p in protocols)
+        lines.append(f"{suffix:>9}{cells}   {winner}")
     return "\n".join(lines)
 
 
@@ -103,14 +120,38 @@ def main() -> None:  # pragma: no cover - CLI
     parser.add_argument("--reps", type=int, default=REPS)
     parser.add_argument("--procs", type=int, default=N_PROCS)
     parser.add_argument("--machines", type=int, default=N_MACHINES)
+    parser.add_argument(
+        "--protocols", default=",".join(PROTOCOLS), metavar="LIST",
+        help="comma-separated protocol names (default: %(default)s)")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced smoke configuration (BT-4, two fault periods) — "
+             "exercises every protocol's deploy/run/classify path in "
+             "seconds; used by the CI compare-protocols job")
     add_runner_arguments(parser)
     args = parser.parse_args()
-    result = run_experiment(reps=args.reps, n_procs=args.procs,
-                            n_machines=args.machines,
-                            runner=runner_from_args(args))
+    protocols = tuple(p for p in args.protocols.split(",") if p)
+    if args.quick:
+        if (args.procs, args.machines) != (N_PROCS, N_MACHINES):
+            parser.error("--quick fixes the scale at BT-4 on 6 machines; "
+                         "drop --procs/--machines or drop --quick")
+        # the reduced run lasts ~45 s, so the fault period must sit
+        # well below that for the smoke to exercise actual recovery
+        periods: Sequence[Optional[int]] = (None, 25)
+        print("quick smoke: BT-4 on 6 machines, fault periods "
+              f"{periods} — reduced workload (niters=10)")
+        result = run_experiment(
+            reps=args.reps, periods=periods, protocols=protocols,
+            n_procs=4, n_machines=6, niters=10, total_compute=180.0,
+            footprint=1e8, runner=runner_from_args(args))
+    else:
+        result = run_experiment(reps=args.reps, protocols=protocols,
+                                n_procs=args.procs, n_machines=args.machines,
+                                runner=runner_from_args(args))
+        periods = PERIODS
     print(result.render())
     print()
-    print(crossover_summary(result))
+    print(crossover_summary(result, periods=periods, protocols=protocols))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,6 +1,7 @@
 """Shared experiment machinery.
 
-One *trial* = one deployment of MPICH-Vcl running BT under a FAIL
+One *trial* = one deployment of the MPICH-V runtime (any registered
+protocol) running a registered workload (BT by default) under a FAIL
 scenario, killed at the 1500 s timeout if still running, classified
 from its trace exactly as in the paper (§5: terminated /
 non-terminating / buggy).  One *row* = several repetitions of the same
@@ -19,7 +20,7 @@ from repro.experiments.runner import TrialRunner
 from repro.fail.scenario import Binding, deploy_scenario
 from repro.mpichv.config import VclConfig
 from repro.mpichv.runtime import RunResult, VclRuntime
-from repro.workloads.nas_bt import BTWorkload
+from repro.workloads import build_workload
 
 
 @dataclass
@@ -37,9 +38,16 @@ class TrialSetup:
     timeout: float = 1500.0
     ckpt_period: float = 30.0
     fault_tolerant: bool = True
-    #: "vcl" (the paper's protocol) or "v2" (message logging)
+    #: fault-tolerance protocol, resolved through the registry in
+    #: :mod:`repro.mpichv.protocols` ("vcl", "v2", "v1", ...)
     protocol: str = "vcl"
-    #: BT calibration (reduced in tests, class-B-like in benchmarks)
+    #: workload name, resolved through the registry in
+    #: :mod:`repro.workloads` ("bt", "ring", "masterworker", ...)
+    workload: str = "bt"
+    #: workload-specific parameter overrides (e.g. ``{"rounds": 30}``)
+    workload_params: Dict[str, float] = field(default_factory=dict)
+    #: calibration (reduced in tests, class-B-like in benchmarks);
+    #: non-BT workload builders adapt these to their own knobs
     niters: int = 120
     total_compute: float = 8800.0
     footprint: float = 1.6e9
@@ -57,11 +65,13 @@ class TrialSetup:
             protocol=self.protocol,
             footprint=self.footprint,
         )
-        workload = BTWorkload(
+        workload = build_workload(
+            self.workload,
             n_procs=self.n_procs,
             niters=self.niters,
             total_compute=self.total_compute,
             footprint=self.footprint,
+            params=self.workload_params,
         )
         runtime = VclRuntime(config, workload.make_factory(), seed=seed,
                              keep_trace=self.keep_trace)

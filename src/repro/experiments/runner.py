@@ -47,7 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 
 #: bump to invalidate every existing cache entry (key derivation or
 #: simulation semantics changed)
-CACHE_VERSION = 1
+CACHE_VERSION = 2        # 2: protocol plugin architecture + workload registry
 
 
 def trial_key(setup: "TrialSetup", seed: int) -> str:

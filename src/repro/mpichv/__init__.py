@@ -16,9 +16,19 @@ Components (mirroring Fig. 2 of the paper):
   ranks acknowledge;
 * :mod:`repro.mpichv.runtime` — wiring: builds the cluster deployment
   and runs an application under the chosen protocol;
+* :mod:`repro.mpichv.daemonbase` — the generic daemon lifecycle every
+  protocol's daemon runs (listener, dispatcher exchange, trace point,
+  service dialing, mesh build, uniform termination);
+* :mod:`repro.mpichv.protocols` — the protocol registry: each family
+  member declares its daemon class, its service plan and its config
+  validation; the dispatcher/runtime/config consult the registry
+  instead of string-matching protocol names;
 * :mod:`repro.mpichv.v2daemon` / :mod:`repro.mpichv.eventlog` — the V2
   protocol (pessimistic sender-based message logging), selectable via
-  ``VclConfig(protocol="v2")``.
+  ``VclConfig(protocol="v2")``;
+* :mod:`repro.mpichv.v1daemon` / :mod:`repro.mpichv.channelmemory` —
+  the V1 protocol (remote pessimistic logging through stable Channel
+  Memories), selectable via ``VclConfig(protocol="v1")``.
 """
 
 from repro.mpichv.config import TimingModel, VclConfig

@@ -83,10 +83,15 @@ class VclConfig:
     timeout: float = 1500.0
     #: enable checkpoint/rollback at all (False = Vdummy baseline)
     fault_tolerant: bool = True
-    #: fault-tolerance protocol: "vcl" (coordinated Chandy-Lamport, the
-    #: paper's subject) or "v2" (pessimistic sender-based message
-    #: logging + uncoordinated checkpoints, cf. MPICH-V2 [BCH+03]).
+    #: fault-tolerance protocol, looked up in the registry of
+    #: :mod:`repro.mpichv.protocols`.  Built-ins: "vcl" (coordinated
+    #: Chandy-Lamport, the paper's subject), "v2" (pessimistic
+    #: sender-based message logging, cf. MPICH-V2 [BCH+03]), "v1"
+    #: (remote pessimistic logging in Channel Memories, MPICH-V1).
     protocol: str = "vcl"
+    #: number of Channel Memory services (v1 protocol only); a rank's
+    #: home CM is ``rank % n_channel_memories``
+    n_channel_memories: int = 2
     timing: TimingModel = field(default_factory=TimingModel)
 
     # service ports
@@ -94,6 +99,7 @@ class VclConfig:
     scheduler_port: int = 7001
     ckpt_server_port_base: int = 7100
     eventlog_port: int = 7002
+    channel_memory_port_base: int = 7200
     daemon_port_base: int = 6000
 
     def __post_init__(self) -> None:
@@ -106,10 +112,11 @@ class VclConfig:
             raise ValueError("n_procs must be >= 1")
         if self.ckpt_period <= 0:
             raise ValueError("ckpt_period must be positive")
-        if self.protocol not in ("vcl", "v2"):
-            raise ValueError(f"unknown protocol {self.protocol!r}")
-        if self.protocol == "v2" and self.blocking:
-            raise ValueError("blocking applies to the vcl protocol only")
+        # Registry-driven: unknown protocols and protocol/config
+        # conflicts (e.g. ``blocking`` with a non-vcl protocol) raise
+        # from the protocol's own validate hook.
+        from repro.mpichv.protocols import validate_config
+        validate_config(self)
 
     @property
     def image_size(self) -> float:
@@ -118,5 +125,6 @@ class VclConfig:
 
     @property
     def n_service_nodes(self) -> int:
-        """dispatcher + scheduler + checkpoint servers"""
-        return 2 + self.n_ckpt_servers
+        """dispatcher + svc1 + checkpoint servers + protocol extras"""
+        from repro.mpichv.protocols import extra_service_nodes
+        return 2 + self.n_ckpt_servers + extra_service_nodes(self)

@@ -1,0 +1,379 @@
+"""Shared lifecycle of every MPICH-V communication daemon.
+
+All members of the MPICH-V family (Vcl, V2, V1, ...) run the same
+daemon skeleton — one process per MPI rank that owns every connection
+of the rank and relays application traffic — and differ only in the
+fault-tolerance protocol layered on top.  This module captures the
+skeleton once:
+
+1. bind the mesh listener (before anything else, so peers never race);
+2. exec + library initialisation delay;
+3. argument exchange with the dispatcher (``Register``/``RegisterAck``);
+4. the paper's instrumentation boundary ``localMPI_setCommand``;
+5. wait for the command map (handling early ``Terminate``/``Shutdown``);
+6. connect to the protocol's services and restore state (hooks);
+7. build the peer mesh (protocol-declared dial targets and handshake);
+8. protocol post-mesh work (scheduler hello, replay, checkpoint loop);
+9. spawn the MPI application thread and idle until told to stop.
+
+Termination semantics are uniform across protocols: a ``Terminate``
+order is acknowledged by socket closure *after* the
+``terminate_cleanup`` delay (the daemon tearing its state down), and a
+``Shutdown`` exits immediately.  Protocols plug in by subclassing
+:class:`MpichDaemon` and registering a
+:class:`repro.mpichv.protocols.ProtocolSpec`.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from repro.cluster.network import ConnectionRefused
+from repro.cluster.unixproc import UnixProcess
+from repro.mpi.endpoint import LocalDelivery, MpiEndpoint
+from repro.mpi.message import AppMessage
+from repro.mpichv import wire
+from repro.mpichv.checkpoint import CheckpointImage, node_local_store
+from repro.simkernel.store import StoreClosed
+
+
+def connect_retry(proc: UnixProcess, addr, backoff_initial: float,
+                  backoff_max: float, stop: Callable[[], bool] = lambda: False):
+    """Connect with exponential backoff; loops while refused.
+
+    This retry loop is load-bearing for the reproduction: daemons that
+    keep retrying a peer that will never come back are *how the
+    dispatcher bug manifests as a freeze* (§5.3).
+    """
+    delay = backoff_initial
+    while not stop():
+        try:
+            sock = yield proc.node.connect(addr, owner=proc)
+            return sock
+        except ConnectionRefused:
+            yield proc.engine.timeout(delay)
+            delay = min(delay * 2, backoff_max)
+    return None
+
+
+class MpichDaemon:
+    """State + threads shared by every communication daemon instance.
+
+    Subclasses set :attr:`protocol` (the registry name, also used for
+    thread names and the ``proc.tags`` entry) and :attr:`hello_cls`
+    (the wire type their mesh handshake uses; ``None`` when the
+    protocol builds no peer mesh), and implement the protocol hooks.
+    """
+
+    #: registry name of the protocol this daemon implements
+    protocol: str = "?"
+    #: mesh handshake message type accepted by the listener (None: no mesh)
+    hello_cls: Optional[type] = None
+
+    def __init__(self, proc: UnixProcess, config, rank: int, epoch: int,
+                 incarnation: int, app_factory: Callable[[MpiEndpoint], Any]):
+        self.proc = proc
+        self.engine = proc.engine
+        self.config = config
+        self.timing = config.timing
+        self.rank = rank
+        self.epoch = epoch
+        self.incarnation = incarnation
+        self.app_factory = app_factory
+        self.n = config.n_procs
+
+        # app-side plumbing: deliveries land directly in the
+        # checkpointable state buffer (see repro.mpi.endpoint.Transport)
+        self.app_state: dict = {}
+        self.init_state_keys()
+        self.delivery = LocalDelivery(self.engine, self.app_state,
+                                      name=f"{self.protocol}.inbox.r{rank}")
+        self.endpoint: Optional[MpiEndpoint] = None
+
+        # mesh
+        self.peers: Dict[int, Any] = {}         # rank -> socket
+        self.mesh_ready = self.engine.event(
+            name=f"{self.protocol}.mesh.r{rank}")
+
+        # service sockets
+        self.disp_sock = None
+        self.ckpt_sock = None
+
+        self.terminating = False
+        self.finished = False
+        self.ckpt_counter = 0
+        #: handle of the MPI computation thread (blocking mode freezes it)
+        self.app_proc = None
+        self.init_protocol()
+
+    # ------------------------------------------------------------------
+    # subclass extension points
+    # ------------------------------------------------------------------
+    def init_state_keys(self) -> None:
+        """Seed protocol bookkeeping keys into ``app_state`` (also run
+        after a restore, so old images gain any missing keys)."""
+
+    def init_protocol(self) -> None:
+        """Initialise protocol-private fields (runs at the end of
+        ``__init__``)."""
+
+    def app_send(self, msg: AppMessage) -> None:
+        raise NotImplementedError
+
+    def on_mesh_hello(self, sock, hello) -> None:
+        """An inbound mesh connection completed its handshake."""
+        raise NotImplementedError
+
+    def connect_services(self, cmd: wire.CommandMap):
+        """Generator: dial the services this protocol declares."""
+        yield from ()
+
+    def restore_state(self, cmd: wire.CommandMap):
+        """Generator: load committed state before joining the mesh."""
+        yield from ()
+
+    def mesh_dial_targets(self, cmd: wire.CommandMap) -> Iterable[int]:
+        """Peer ranks this daemon actively dials (it accepts the rest)."""
+        return range(self.rank)
+
+    def dial_peer(self, peer_rank: int, addr):
+        """Generator: connect to one peer and perform the handshake."""
+        raise NotImplementedError
+
+    def after_mesh(self, cmd: wire.CommandMap):
+        """Generator: protocol work once the mesh is complete (announce
+        to services, replay history, start checkpoint loops, ...)."""
+        yield from ()
+
+    # ------------------------------------------------------------------
+    # transport interface used by MpiEndpoint
+    # ------------------------------------------------------------------
+    def app_inbox_get(self):
+        return self.delivery.doorbell()
+
+    def app_done(self) -> None:
+        self.finished = True
+        if self.disp_sock is not None and not self.disp_sock.closed:
+            self.disp_sock.send(wire.Done(rank=self.rank))
+
+    def app_thread(self):
+        ep = MpiEndpoint(self.rank, self.n, self.app_state, self, self.engine)
+        self.endpoint = ep
+        yield from self.app_factory(ep)
+
+    # ------------------------------------------------------------------
+    # mesh bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def expected_peers(self) -> int:
+        return (self.n - 1) if self.hello_cls is not None else 0
+
+    @property
+    def restarted(self) -> bool:
+        return self.incarnation > 1
+
+    def check_mesh(self) -> None:
+        if len(self.peers) == self.expected_peers \
+                and not self.mesh_ready.triggered:
+            self.mesh_ready.succeed()
+
+    # ------------------------------------------------------------------
+    # service dialing helpers
+    # ------------------------------------------------------------------
+    def connect_service(self, node_name: str, port: int,
+                        stop: Callable[[], bool] = lambda: False):
+        """Generator: dial ``node_name:port`` with the standard backoff."""
+        addr = self.proc.node.cluster.node(node_name).addr(port)
+        sock = yield from connect_retry(
+            self.proc, addr, self.timing.connect_retry_initial,
+            self.timing.connect_retry_max, stop=stop)
+        return sock
+
+    def connect_ckpt_server(self):
+        """Generator: dial this rank's (sharded) checkpoint server."""
+        server_idx = self.rank % self.config.n_ckpt_servers
+        self.ckpt_sock = yield from self.connect_service(
+            f"svc{2 + server_idx}",
+            self.config.ckpt_server_port_base + server_idx)
+        return self.ckpt_sock
+
+    # ------------------------------------------------------------------
+    # uncoordinated checkpointing (V2/V1-style protocols)
+    # ------------------------------------------------------------------
+    def independent_ckpt_loop(self):
+        """Per-rank snapshots on a staggered timer (no marker waves)."""
+        period = self.config.ckpt_period
+        # stagger ranks across the period to spread server load
+        offset = period * (self.rank + 1) / (self.n + 1)
+        first = period + offset - (self.engine.now % period)
+        yield self.engine.timeout(max(first, 1.0))
+        while not self.terminating:
+            yield from self._take_checkpoint()
+            yield self.engine.timeout(period)
+
+    def _take_checkpoint(self):
+        self.ckpt_counter += 1
+        wave = self.ckpt_counter
+        img = CheckpointImage(
+            rank=self.rank, wave=wave,
+            state=copy.deepcopy(self.app_state),
+            logs=[], img_size=int(self.config.image_size), complete=True)
+        # fork-style: local write, then stream to the server
+        yield self.engine.timeout(img.img_size / self.timing.local_disk_bw)
+        node_local_store(self.proc.node).store(img)
+        if self.ckpt_sock is not None and not self.ckpt_sock.closed:
+            self.ckpt_sock.send(wire.CkptStore(
+                rank=self.rank, wave=wave, state=img.state, logs=[],
+                img_size=img.img_size))
+        self.post_checkpoint(img)
+        self.engine.log(f"{self.protocol}_ckpt", rank=self.rank, wave=wave)
+
+    def post_checkpoint(self, img: CheckpointImage) -> None:
+        """Hook: garbage-collection notes after an independent snapshot."""
+
+    def restore_latest_own(self):
+        """Generator: load the newest local/remote image of this rank.
+
+        Used by the single-rank-restart protocols (V2, V1) where only
+        the failed rank reloads — survivors never roll back.
+        """
+        local = node_local_store(self.proc.node)
+        waves = local.waves_for(self.rank)
+        img = local.load(self.rank, waves[-1]) if waves else None
+        if img is not None and img.complete:
+            yield self.engine.timeout(img.img_size / self.timing.local_disk_bw)
+            img = img.snapshot_of()
+        else:
+            self.ckpt_sock.send(wire.FetchReq(rank=self.rank, wave=None))
+            resp = yield self.ckpt_sock.recv()
+            assert isinstance(resp, wire.FetchResp), resp
+            if resp.wave is None:
+                return          # nothing stored: fresh start
+            img = CheckpointImage(rank=self.rank, wave=resp.wave,
+                                  state=copy.deepcopy(resp.state),
+                                  logs=[], img_size=resp.img_size)
+        self.app_state = img.state
+        self.init_state_keys()
+        self.delivery.rebind(self.app_state)
+        self.ckpt_counter = img.wave
+        self.engine.log("restore", rank=self.rank, wave=img.wave,
+                        replayed=0, protocol=self.protocol)
+
+    # ------------------------------------------------------------------
+    # dispatcher connection (uniform across protocols)
+    # ------------------------------------------------------------------
+    def dispatcher_reader(self):
+        while True:
+            try:
+                msg = yield self.disp_sock.recv()
+            except StoreClosed:
+                return      # dispatcher gone: experiment is over
+            if isinstance(msg, wire.Terminate):
+                self.terminating = True
+                self.proc.spawn_thread(self._terminator(), name="terminator")
+            elif isinstance(msg, wire.Shutdown):
+                self.proc.exit()
+                return
+
+    def _terminator(self):
+        """Cleanup then clean exit; the dispatcher reads the resulting
+        socket closure as the termination acknowledgement."""
+        yield self.engine.timeout(
+            self.timing.uniform(self.engine.random,
+                                self.timing.terminate_cleanup))
+        self.proc.exit()
+
+
+def daemon_lifecycle(core_cls, proc: UnixProcess, config, rank: int,
+                     epoch: int, incarnation: int, app_factory):
+    """Generic main generator of one communication daemon process.
+
+    ``core_cls`` is the :class:`MpichDaemon` subclass implementing the
+    protocol; everything else is the paper's daemon lifecycle, shared
+    verbatim across the family.
+    """
+    engine = proc.engine
+    timing = config.timing
+    cluster = proc.node.cluster
+    core = core_cls(proc, config, rank, epoch, incarnation, app_factory)
+    proc.tags["vcl"] = core        # FAIL_READ inspects app state here
+    proc.tags[core.protocol] = core
+    name = core.protocol
+
+    # Bind the mesh listener before anything else so peers never race us.
+    listener = proc.node.listen(config.daemon_port_base + rank, owner=proc)
+
+    def accept_loop():
+        while True:
+            try:
+                sock = yield listener.accept()
+            except StoreClosed:
+                return
+            try:
+                hello = yield sock.recv()
+            except StoreClosed:
+                continue
+            if core.hello_cls is not None and isinstance(hello, core.hello_cls):
+                core.on_mesh_hello(sock, hello)
+
+    proc.spawn_thread(accept_loop(), name=f"{name}.{rank}.accept")
+
+    # exec + library initialisation time
+    yield engine.timeout(timing.uniform(engine.random, timing.daemon_startup))
+
+    # --- argument exchange with the dispatcher ----------------------------
+    disp_addr = cluster.node("svc0").addr(config.dispatcher_port)
+    core.disp_sock = yield from connect_retry(
+        proc, disp_addr, timing.connect_retry_initial, timing.connect_retry_max)
+    core.disp_sock.send(wire.Register(rank=rank, addr=listener.addr,
+                                      epoch=epoch, incarnation=incarnation))
+    try:
+        ack = yield core.disp_sock.recv()
+    except StoreClosed:
+        proc.abort()
+        return
+    assert isinstance(ack, wire.RegisterAck), ack
+
+    # The paper's instrumentation boundary: the dispatcher now counts
+    # this daemon as running.
+    yield from proc.trace_point("localMPI_setCommand")
+
+    try:
+        cmd = yield core.disp_sock.recv()
+    except StoreClosed:
+        proc.abort()
+        return
+    if isinstance(cmd, wire.Terminate):
+        # Uniform termination semantics: cleanup delay, then the socket
+        # closure acknowledges — identical for every protocol.
+        core.terminating = True
+        yield engine.timeout(
+            timing.uniform(engine.random, timing.terminate_cleanup))
+        proc.exit()
+        return
+    if isinstance(cmd, wire.Shutdown):
+        proc.exit()
+        return
+    assert isinstance(cmd, wire.CommandMap), cmd
+    proc.spawn_thread(core.dispatcher_reader(), name=f"{name}.{rank}.disp")
+
+    # --- protocol services + state restore --------------------------------
+    yield from core.connect_services(cmd)
+    yield from core.restore_state(cmd)
+
+    # --- build the peer mesh ----------------------------------------------
+    for peer_rank in core.mesh_dial_targets(cmd):
+        proc.spawn_thread(core.dial_peer(peer_rank, cmd.addrs[peer_rank]),
+                          name=f"{name}.{rank}.dial{peer_rank}")
+    if core.expected_peers:
+        yield core.mesh_ready
+
+    # --- protocol post-mesh work ------------------------------------------
+    yield from core.after_mesh(cmd)
+
+    # --- run the application ----------------------------------------------
+    core.app_proc = proc.spawn_thread(core.app_thread(), name=f"mpi.{rank}")
+
+    # Main thread idles; the process lives until Terminate/Shutdown.
+    yield engine.event(name=f"{name}.{rank}.forever")

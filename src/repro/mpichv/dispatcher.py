@@ -32,8 +32,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Set
 
 from repro.cluster.unixproc import UnixProcess
-from repro.mpichv import wire
-from repro.mpichv.vdaemon import vdaemon_main
+from repro.mpichv import protocols, wire
 from repro.simkernel.store import StoreClosed
 
 LAUNCHING = "launching"
@@ -69,6 +68,11 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
     engine = proc.engine
     cluster = proc.node.cluster
     n = config.n_procs
+    spec = protocols.get_spec(config.protocol)
+    daemon_entry = protocols.daemon_main_for(config)
+    # message-logging protocols recover by restarting the failed rank
+    # alone; coordinated checkpointing rolls the whole application back
+    single_rank_restart = config.fault_tolerant and spec.single_rank_restart
     state = DispatcherState()
     proc.tags["disp_state"] = state
     listener = proc.node.listen(config.dispatcher_port, owner=proc)
@@ -89,11 +93,6 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
         ep = state.epoch
         state.status[rank] = "spawning"
         machine = state.assignment[rank]
-
-        if config.fault_tolerant and config.protocol == "v2":
-            from repro.mpichv.v2daemon import v2daemon_main as daemon_entry
-        else:
-            daemon_entry = vdaemon_main
 
         def main(p, _rank=rank, _ep=ep, _inc=inc, _entry=daemon_entry):
             return _entry(p, config, _rank, _ep, _inc, app_factory)
@@ -193,12 +192,12 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
                 return
             state.failures_detected += 1
             engine.log("failure_detected", rank=rank, where=state.phase)
-            if config.protocol == "v2" and config.fault_tolerant:
+            if single_rank_restart:
                 # message logging: only the failed rank restarts
                 state.restarts += 1
                 del state.reg[rank]
-                engine.log("restart_wave", epoch=state.epoch, restore="v2",
-                           failed=[rank])
+                engine.log("restart_wave", epoch=state.epoch,
+                           restore=spec.name, failed=[rank])
                 spawn_slot(rank)
             else:
                 initiate_restart({rank})
@@ -241,14 +240,14 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
         state.addrs[rank] = msg.addr
         state.status[rank] = "registered"
         sock.send(wire.RegisterAck(rank=rank))
-        if state.phase == RUNNING and config.protocol == "v2":
-            # V2 single-rank restart: the rest of the system never
+        if state.phase == RUNNING and single_rank_restart:
+            # single-rank restart: the rest of the system never
             # stopped; hand the newcomer its command map directly.
             sock.send(wire.CommandMap(epoch=state.epoch,
                                       addrs=dict(state.addrs),
                                       restore_wave=None))
             engine.log("recovery_complete", epoch=state.epoch, rank=rank,
-                       protocol="v2")
+                       protocol=spec.name)
         elif len(state.reg) == n and not state.pending_term:
             all_registered()
         # read loop: Done notifications until closure

@@ -1,0 +1,214 @@
+"""The fault-tolerance protocol registry of the MPICH-V family.
+
+Every protocol the runtime can deploy is described by one
+:class:`ProtocolSpec` and registered here; the dispatcher, the runtime
+and the configuration validator all consult the registry instead of
+string-matching protocol names.  Adding a protocol is a one-file
+affair: subclass :class:`repro.mpichv.daemonbase.MpichDaemon`, declare
+the services its deployment needs, and call :func:`register`.
+
+A spec declares:
+
+* ``core_cls`` — the daemon class; the generic lifecycle in
+  :mod:`repro.mpichv.daemonbase` drives it;
+* ``service_plan(config)`` — which service processes
+  :meth:`repro.mpichv.runtime.VclRuntime.deploy` spawns (checkpoint
+  servers, scheduler, event logger, channel memories, ...), as
+  ``(process name, service node, main)`` triples;
+* ``single_rank_restart`` — whether a failure restarts only the failed
+  rank (message-logging protocols) or rolls the whole application back
+  (coordinated checkpointing);
+* ``validate(config)`` — protocol-specific configuration checks;
+* ``extra_service_nodes(config)`` — service nodes needed beyond the
+  family baseline (dispatcher + svc1 + checkpoint servers).
+
+Built-in protocols:
+
+========  =============================================================
+``vcl``   Coordinated non-blocking Chandy-Lamport (the paper's
+          subject).  Scheduler-driven marker waves; any failure rolls
+          every rank back to the last committed wave.
+``v2``    Pessimistic sender-based message logging [BCH+03].
+          Independent checkpoints + a stable event logger; only the
+          failed rank restarts, but simultaneous failures can stall on
+          lost volatile sender logs.
+``v1``    Remote pessimistic logging in Channel Memories (MPICH-V1).
+          Every message transits the receiver's home CM; higher
+          fault-free cost, but simultaneous failures are tolerated.
+========  =============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.registry import Registry
+from repro.mpichv.ckptserver import ckpt_server_main
+from repro.mpichv.channelmemory import channel_memory_main
+from repro.mpichv.daemonbase import daemon_lifecycle
+from repro.mpichv.eventlog import eventlog_main
+from repro.mpichv.scheduler import scheduler_main
+from repro.mpichv.v1daemon import V1Daemon
+from repro.mpichv.v2daemon import V2Daemon
+from repro.mpichv.vdaemon import VclDaemon
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One service process a protocol's deployment spawns."""
+
+    name: str                         # process name (e.g. "scheduler")
+    node: str                         # service node (e.g. "svc1")
+    main: Callable[[Any], Any]        # proc -> generator
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Everything the runtime needs to deploy one protocol."""
+
+    name: str
+    core_cls: type
+    #: config -> [ServiceSpec]; spawned in order by deploy()
+    service_plan: Callable[[Any], List[ServiceSpec]]
+    #: failure recovery restarts only the failed rank (vs. everyone)
+    single_rank_restart: bool
+    description: str = ""
+    #: protocol-specific config checks; raises ValueError
+    validate: Optional[Callable[[Any], None]] = None
+    #: service nodes beyond the baseline (dispatcher + svc1 + servers)
+    extra_service_nodes: Callable[[Any], int] = field(
+        default=lambda config: 0)
+
+    def daemon_main(self, proc, config, rank: int, epoch: int,
+                    incarnation: int, app_factory):
+        """Main generator of this protocol's communication daemon."""
+        return daemon_lifecycle(self.core_cls, proc, config, rank, epoch,
+                                incarnation, app_factory)
+
+
+_REGISTRY = Registry("protocol")
+
+
+def register(spec: ProtocolSpec, replace: bool = False) -> ProtocolSpec:
+    """Add a protocol to the registry (``replace=True`` to override)."""
+    return _REGISTRY.register(spec.name, spec, replace=replace)
+
+
+def unregister(name: str) -> None:
+    """Remove a protocol (tests registering toy protocols clean up)."""
+    _REGISTRY.unregister(name)
+
+
+def available() -> List[str]:
+    """Registered protocol names, sorted."""
+    return _REGISTRY.available()
+
+
+def get_spec(name: str) -> ProtocolSpec:
+    """Look a protocol up; unknown names raise ``ValueError``."""
+    return _REGISTRY.get(name)
+
+
+def daemon_main_for(config) -> Callable:
+    """The daemon entry point ``dispatcher.spawn_slot`` launches.
+
+    Without fault tolerance every protocol degrades to the plain Vcl
+    daemon relaying messages with no services attached (the paper's
+    Vdummy baseline).
+    """
+    name = config.protocol if config.fault_tolerant else "vcl"
+    return get_spec(name).daemon_main
+
+
+def validate_config(config) -> None:
+    """Registry-driven part of ``VclConfig.__post_init__``."""
+    spec = get_spec(config.protocol)       # raises on unknown protocol
+    if spec.validate is not None:
+        spec.validate(config)
+
+
+def extra_service_nodes(config) -> int:
+    return get_spec(config.protocol).extra_service_nodes(config)
+
+
+# ---------------------------------------------------------------------------
+# built-in protocols
+# ---------------------------------------------------------------------------
+
+def _ckpt_servers(config) -> List[ServiceSpec]:
+    return [
+        ServiceSpec(name=f"ckptserver.{i}", node=f"svc{2 + i}",
+                    main=(lambda p, i=i: ckpt_server_main(p, config, i)))
+        for i in range(config.n_ckpt_servers)
+    ]
+
+
+def _vcl_plan(config) -> List[ServiceSpec]:
+    return _ckpt_servers(config) + [
+        ServiceSpec(name="scheduler", node="svc1",
+                    main=lambda p: scheduler_main(p, config)),
+    ]
+
+
+def _v2_plan(config) -> List[ServiceSpec]:
+    # uncoordinated checkpoints need no scheduler; the svc1 slot hosts
+    # the stable event logger instead
+    return _ckpt_servers(config) + [
+        ServiceSpec(name="eventlog", node="svc1",
+                    main=lambda p: eventlog_main(p, config)),
+    ]
+
+
+def _v1_plan(config) -> List[ServiceSpec]:
+    # no scheduler and no event logger (svc1 stays idle): the channel
+    # memories are both the transport and the stable log
+    return _ckpt_servers(config) + [
+        ServiceSpec(
+            name=f"channelmemory.{i}",
+            node=f"svc{2 + config.n_ckpt_servers + i}",
+            main=(lambda p, i=i: channel_memory_main(p, config, i)))
+        for i in range(config.n_channel_memories)
+    ]
+
+
+def _require_non_blocking(config) -> None:
+    if config.blocking:
+        raise ValueError("blocking applies to the vcl protocol only")
+
+
+def _validate_v1(config) -> None:
+    _require_non_blocking(config)
+    if config.n_channel_memories < 1:
+        raise ValueError("v1 needs at least one channel memory")
+
+
+register(ProtocolSpec(
+    name="vcl",
+    core_cls=VclDaemon,
+    service_plan=_vcl_plan,
+    single_rank_restart=False,
+    description=("coordinated non-blocking Chandy-Lamport checkpointing "
+                 "(the paper's protocol)"),
+))
+
+register(ProtocolSpec(
+    name="v2",
+    core_cls=V2Daemon,
+    service_plan=_v2_plan,
+    single_rank_restart=True,
+    description=("pessimistic sender-based message logging with "
+                 "uncoordinated checkpoints [BCH+03]"),
+    validate=_require_non_blocking,
+))
+
+register(ProtocolSpec(
+    name="v1",
+    core_cls=V1Daemon,
+    service_plan=_v1_plan,
+    single_rank_restart=True,
+    description=("remote pessimistic logging in stable Channel Memories "
+                 "(MPICH-V1)"),
+    validate=_validate_v1,
+    extra_service_nodes=lambda config: config.n_channel_memories,
+))

@@ -11,15 +11,14 @@ compute machines).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.analysis.classify import Outcome, RunVerdict, classify_run
 from repro.analysis.traces import Trace
 from repro.cluster.cluster import Cluster
-from repro.mpichv.ckptserver import ckpt_server_main
+from repro.mpichv import protocols
 from repro.mpichv.config import VclConfig
 from repro.mpichv.dispatcher import dispatcher_main
-from repro.mpichv.scheduler import scheduler_main
 from repro.simkernel.engine import Engine
 
 
@@ -67,39 +66,50 @@ class VclRuntime:
         self.app_factory = app_factory
         self._deployed = False
         self.dispatcher_proc = None
-        self.scheduler_proc = None
-        self.eventlog_proc = None
-        self.server_procs: List[Any] = []
+        #: service-process name -> UnixProcess (protocol service plan)
+        self.service_procs: Dict[str, Any] = {}
 
     # -- deployment -----------------------------------------------------------
     def deploy(self) -> None:
-        """Spawn the service processes (idempotent)."""
+        """Spawn the service processes (idempotent).
+
+        Which services run — checkpoint servers, a scheduler, an event
+        logger, channel memories — is the protocol's *service plan*,
+        declared by its :class:`repro.mpichv.protocols.ProtocolSpec`.
+        """
         if self._deployed:
             return
         self._deployed = True
         cfg = self.config
         if cfg.fault_tolerant:
-            for i in range(cfg.n_ckpt_servers):
-                node = self.cluster.node(f"svc{2 + i}")
-                proc = node.spawn(
-                    f"ckptserver.{i}",
-                    lambda p, i=i: ckpt_server_main(p, cfg, i),
-                    notify=False)
-                self.server_procs.append(proc)
-            if cfg.protocol == "v2":
-                # uncoordinated checkpoints need no scheduler; the svc1
-                # slot hosts the stable event logger instead
-                from repro.mpichv.eventlog import eventlog_main
-                self.eventlog_proc = self.cluster.node("svc1").spawn(
-                    "eventlog", lambda p: eventlog_main(p, cfg), notify=False)
-            else:
-                self.scheduler_proc = self.cluster.node("svc1").spawn(
-                    "scheduler", lambda p: scheduler_main(p, cfg),
-                    notify=False)
+            spec = protocols.get_spec(cfg.protocol)
+            for svc in spec.service_plan(cfg):
+                proc = self.cluster.node(svc.node).spawn(
+                    svc.name, svc.main, notify=False)
+                self.service_procs[svc.name] = proc
         self.dispatcher_proc = self.cluster.node("svc0").spawn(
             "dispatcher",
             lambda p: dispatcher_main(p, cfg, self.app_factory, self.machines),
             notify=False)
+
+    # -- service-process views (by conventional plan names) -------------------
+    @property
+    def scheduler_proc(self):
+        return self.service_procs.get("scheduler")
+
+    @property
+    def eventlog_proc(self):
+        return self.service_procs.get("eventlog")
+
+    @property
+    def server_procs(self) -> List[Any]:
+        return [proc for name, proc in self.service_procs.items()
+                if name.startswith("ckptserver.")]
+
+    @property
+    def cm_procs(self) -> List[Any]:
+        return [proc for name, proc in self.service_procs.items()
+                if name.startswith("channelmemory.")]
 
     @property
     def dispatcher_state(self):

@@ -22,25 +22,28 @@ Known (and faithful) limitation: with *simultaneous* failures the
 senders' volatile logs needed by one recovering rank may have died
 with another — recovery can then stall, which is precisely the kind of
 behaviour the FAIL-MPI scenarios of the paper are designed to expose.
+(MPICH-V1's remote channel memories, :mod:`repro.mpichv.v1daemon`,
+trade per-message latency for immunity to exactly this.)
 
 Checkpoint-safety bookkeeping lives inside the application state dict
 (``_v2_delivered``, ``_v2_sent``, ``_v2_pos``), written by the daemon
 in the same atomic step as the delivery/send it describes, so every
 snapshot is internally consistent.
+
+The generic daemon lifecycle lives in :mod:`repro.mpichv.daemonbase`;
+this module contains only the message-logging protocol logic.
 """
 
 from __future__ import annotations
 
-import copy
 from collections import deque
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.cluster.unixproc import UnixProcess
-from repro.mpi.endpoint import LocalDelivery, MpiEndpoint
 from repro.mpi.message import AppMessage
 from repro.mpichv import wire
-from repro.mpichv.checkpoint import CheckpointImage, node_local_store
-from repro.mpichv.vdaemon import connect_retry
+from repro.mpichv.checkpoint import CheckpointImage
+from repro.mpichv.daemonbase import (MpichDaemon, connect_retry,
+                                     daemon_lifecycle)
 from repro.simkernel.store import StoreClosed
 
 DELIVERED = "_v2_delivered"
@@ -48,30 +51,18 @@ SENT = "_v2_sent"
 POS = "_v2_pos"
 
 
-class V2Daemon:
-    """State + threads of one V2 communication daemon instance."""
+class V2Daemon(MpichDaemon):
+    """Sender-based message-logging logic of one daemon instance."""
 
-    def __init__(self, proc: UnixProcess, config, rank: int, epoch: int,
-                 incarnation: int, app_factory: Callable[[MpiEndpoint], Any]):
-        self.proc = proc
-        self.engine = proc.engine
-        self.config = config
-        self.timing = config.timing
-        self.rank = rank
-        self.epoch = epoch
-        self.incarnation = incarnation
-        self.app_factory = app_factory
-        self.n = config.n_procs
+    protocol = "v2"
+    hello_cls = wire.V2Hello
 
-        self.app_state: dict = {}
-        self._init_state_keys()
-        self.delivery = LocalDelivery(self.engine, self.app_state,
-                                      name=f"v2inbox.r{rank}")
-        self.endpoint: Optional[MpiEndpoint] = None
+    def init_state_keys(self) -> None:
+        self.app_state.setdefault(DELIVERED, {r: 0 for r in range(self.n)})
+        self.app_state.setdefault(SENT, {r: 0 for r in range(self.n)})
+        self.app_state.setdefault(POS, 0)
 
-        self.peers: Dict[int, Any] = {}
-        self.mesh_ready = self.engine.event(name=f"v2mesh.r{rank}")
-
+    def init_protocol(self) -> None:
         #: sender-side volatile logs: dst -> deque of (seq, AppMessage)
         self.send_log: Dict[int, deque] = {r: deque() for r in range(self.n)}
 
@@ -85,16 +76,7 @@ class V2Daemon:
         self.replay_events: deque = deque()            # (src, src_seq)
         self.staging: Dict[Tuple[int, int], AppMessage] = {}
 
-        self.ckpt_counter = 0
-        self.disp_sock = None
-        self.ckpt_sock = None
         self.evlog_sock = None
-        self.terminating = False
-
-    def _init_state_keys(self) -> None:
-        self.app_state.setdefault(DELIVERED, {r: 0 for r in range(self.n)})
-        self.app_state.setdefault(SENT, {r: 0 for r in range(self.n)})
-        self.app_state.setdefault(POS, 0)
 
     # ------------------------------------------------------------------
     # transport interface used by MpiEndpoint
@@ -113,13 +95,6 @@ class V2Daemon:
             sock.send(wire.V2Data(app=msg, seq=seq))
         # else: peer down — the log holds it until the new incarnation
         # dials in and requests a resend.
-
-    def app_inbox_get(self):
-        return self.delivery.doorbell()
-
-    def app_done(self) -> None:
-        if self.disp_sock is not None and not self.disp_sock.closed:
-            self.disp_sock.send(wire.Done(rank=self.rank))
 
     # ------------------------------------------------------------------
     # inbound data path (pessimistic logging)
@@ -196,11 +171,7 @@ class V2Daemon:
             for seq, msg in self.send_log[peer_rank]:
                 if seq >= resend_from and not sock.closed:
                     sock.send(wire.V2Data(app=msg, seq=seq))
-        self._check_mesh()
-
-    def _check_mesh(self) -> None:
-        if len(self.peers) == self.n - 1 and not self.mesh_ready.triggered:
-            self.mesh_ready.succeed()
+        self.check_mesh()
 
     def peer_reader(self, sock, peer_rank: int):
         while True:
@@ -227,43 +198,10 @@ class V2Daemon:
             if isinstance(msg, wire.EvLogAck):
                 self.on_evlog_ack(msg.pos)
 
-    def dispatcher_reader(self):
-        while True:
-            try:
-                msg = yield self.disp_sock.recv()
-            except StoreClosed:
-                return
-            if isinstance(msg, (wire.Terminate, wire.Shutdown)):
-                self.proc.exit()
-                return
-
     # ------------------------------------------------------------------
-    # independent checkpointing
+    # independent checkpointing (loop shared with V1 via the base)
     # ------------------------------------------------------------------
-    def ckpt_loop(self):
-        period = self.config.ckpt_period
-        # stagger ranks across the period to spread server load
-        offset = period * (self.rank + 1) / (self.n + 1)
-        first = period + offset - (self.engine.now % period)
-        yield self.engine.timeout(max(first, 1.0))
-        while not self.terminating:
-            yield from self._take_checkpoint()
-            yield self.engine.timeout(period)
-
-    def _take_checkpoint(self):
-        self.ckpt_counter += 1
-        wave = self.ckpt_counter
-        img = CheckpointImage(
-            rank=self.rank, wave=wave,
-            state=copy.deepcopy(self.app_state),
-            logs=[], img_size=int(self.config.image_size), complete=True)
-        # fork-style: local write, then stream to the server
-        yield self.engine.timeout(img.img_size / self.timing.local_disk_bw)
-        node_local_store(self.proc.node).store(img)
-        if self.ckpt_sock is not None and not self.ckpt_sock.closed:
-            self.ckpt_sock.send(wire.CkptStore(
-                rank=self.rank, wave=wave, state=img.state, logs=[],
-                img_size=img.img_size))
+    def post_checkpoint(self, img: CheckpointImage) -> None:
         # sender logs + event log can be pruned up to this image
         for peer_rank, sock in self.peers.items():
             if not sock.closed:
@@ -273,151 +211,62 @@ class V2Daemon:
         if self.evlog_sock is not None and not self.evlog_sock.closed:
             self.evlog_sock.send(wire.EvPrune(rank=self.rank,
                                               upto=img.state[POS]))
-        self.engine.log("v2_ckpt", rank=self.rank, wave=wave)
 
     # ------------------------------------------------------------------
-    # restore (this rank only)
+    # lifecycle hooks
     # ------------------------------------------------------------------
-    def restore_own(self):
-        """Load the newest local/remote image of this rank, if any."""
-        local = node_local_store(self.proc.node)
-        waves = local.waves_for(self.rank)
-        img = local.load(self.rank, waves[-1]) if waves else None
-        if img is not None and img.complete:
-            yield self.engine.timeout(img.img_size / self.timing.local_disk_bw)
-            img = img.snapshot_of()
-        else:
-            self.ckpt_sock.send(wire.FetchReq(rank=self.rank, wave=None))
-            resp = yield self.ckpt_sock.recv()
-            assert isinstance(resp, wire.FetchResp), resp
-            if resp.wave is None:
-                return          # nothing stored: fresh start
-            img = CheckpointImage(rank=self.rank, wave=resp.wave,
-                                  state=copy.deepcopy(resp.state),
-                                  logs=[], img_size=resp.img_size)
-        self.app_state = img.state
-        self._init_state_keys()
-        self.delivery.rebind(self.app_state)
-        self.ckpt_counter = img.wave
-        self.engine.log("restore", rank=self.rank, wave=img.wave,
-                        replayed=0, protocol="v2")
+    def on_mesh_hello(self, sock, hello) -> None:
+        self.proc.spawn_thread(self.peer_reader(sock, hello.rank),
+                               name=f"v2.{self.rank}.peer{hello.rank}")
+        self.attach_peer(hello.rank, sock, hello.resend_from)
 
-    # ------------------------------------------------------------------
-    # app thread
-    # ------------------------------------------------------------------
-    def app_thread(self):
-        ep = MpiEndpoint(self.rank, self.n, self.app_state, self, self.engine)
-        self.endpoint = ep
-        yield from self.app_factory(ep)
+    def connect_services(self, cmd):
+        yield from self.connect_ckpt_server()
+        self.evlog_sock = yield from self.connect_service(
+            "svc1", self.config.eventlog_port)
 
+    def restore_state(self, cmd):
+        if self.restarted:
+            yield from self.restore_latest_own()
+        self.next_pos_to_log = self.app_state[POS]
 
-def v2daemon_main(proc: UnixProcess, config, rank: int, epoch: int,
-                  incarnation: int, app_factory):
-    """Main generator of a V2 communication daemon process."""
-    engine = proc.engine
-    timing = config.timing
-    cluster = proc.node.cluster
-    core = V2Daemon(proc, config, rank, epoch, incarnation, app_factory)
-    proc.tags["v2"] = core
-    proc.tags["vcl"] = core        # FAIL_READ looks here for app state
+    def mesh_dial_targets(self, cmd):
+        # initial launch: dial lower ranks; a restarted incarnation dials
+        # everyone (survivors only accept)
+        if not self.restarted:
+            return range(self.rank)
+        return [r for r in range(self.n) if r != self.rank]
 
-    listener = proc.node.listen(config.daemon_port_base + rank, owner=proc)
-
-    def accept_loop():
-        while True:
-            try:
-                sock = yield listener.accept()
-            except StoreClosed:
-                return
-            try:
-                hello = yield sock.recv()
-            except StoreClosed:
-                continue
-            if isinstance(hello, wire.V2Hello):
-                proc.spawn_thread(core.peer_reader(sock, hello.rank),
-                                  name=f"v2.{rank}.peer{hello.rank}")
-                core.attach_peer(hello.rank, sock, hello.resend_from)
-
-    proc.spawn_thread(accept_loop(), name=f"v2.{rank}.accept")
-
-    yield engine.timeout(timing.uniform(engine.random, timing.daemon_startup))
-
-    # --- argument exchange with the dispatcher -----------------------------
-    disp_addr = cluster.node("svc0").addr(config.dispatcher_port)
-    core.disp_sock = yield from connect_retry(
-        proc, disp_addr, timing.connect_retry_initial, timing.connect_retry_max)
-    core.disp_sock.send(wire.Register(rank=rank, addr=listener.addr,
-                                      epoch=epoch, incarnation=incarnation))
-    try:
-        ack = yield core.disp_sock.recv()
-    except StoreClosed:
-        proc.abort()
-        return
-    assert isinstance(ack, wire.RegisterAck), ack
-    yield from proc.trace_point("localMPI_setCommand")
-    try:
-        cmd = yield core.disp_sock.recv()
-    except StoreClosed:
-        proc.abort()
-        return
-    if isinstance(cmd, (wire.Terminate, wire.Shutdown)):
-        proc.exit()
-        return
-    assert isinstance(cmd, wire.CommandMap), cmd
-    proc.spawn_thread(core.dispatcher_reader(), name=f"v2.{rank}.disp")
-
-    # --- services ----------------------------------------------------------
-    server_idx = rank % config.n_ckpt_servers
-    ckpt_addr = cluster.node(f"svc{2 + server_idx}").addr(
-        config.ckpt_server_port_base + server_idx)
-    core.ckpt_sock = yield from connect_retry(
-        proc, ckpt_addr, timing.connect_retry_initial, timing.connect_retry_max)
-    evlog_addr = cluster.node("svc1").addr(config.eventlog_port)
-    core.evlog_sock = yield from connect_retry(
-        proc, evlog_addr, timing.connect_retry_initial, timing.connect_retry_max)
-
-    restarted = incarnation > 1
-    if restarted:
-        yield from core.restore_own()
-    core.next_pos_to_log = core.app_state[POS]
-
-    # --- mesh ----------------------------------------------------------------
-    def dial(peer_rank: int):
-        addr = cmd.addrs[peer_rank]
+    def dial_peer(self, peer_rank: int, addr):
         sock = yield from connect_retry(
-            proc, addr, timing.connect_retry_initial, timing.connect_retry_max,
-            stop=lambda: core.terminating)
+            self.proc, addr, self.timing.connect_retry_initial,
+            self.timing.connect_retry_max, stop=lambda: self.terminating)
         if sock is None:
             return
-        resend_from = (core.app_state[DELIVERED].get(peer_rank, 0) + 1
-                       if restarted else 0)
-        sock.send(wire.V2Hello(rank=rank, incarnation=incarnation,
+        resend_from = (self.app_state[DELIVERED].get(peer_rank, 0) + 1
+                       if self.restarted else 0)
+        sock.send(wire.V2Hello(rank=self.rank, incarnation=self.incarnation,
                                resend_from=resend_from))
-        proc.spawn_thread(core.peer_reader(sock, peer_rank),
-                          name=f"v2.{rank}.peer{peer_rank}")
-        core.attach_peer(peer_rank, sock, 0)
+        self.proc.spawn_thread(self.peer_reader(sock, peer_rank),
+                               name=f"v2.{self.rank}.peer{peer_rank}")
+        self.attach_peer(peer_rank, sock, 0)
 
-    # initial launch: dial lower ranks; a restarted incarnation dials
-    # everyone (survivors only accept)
-    dial_targets = range(rank) if not restarted else \
-        [r for r in range(config.n_procs) if r != rank]
-    for peer_rank in dial_targets:
-        proc.spawn_thread(dial(peer_rank), name=f"v2.{rank}.dial{peer_rank}")
+    def after_mesh(self, cmd):
+        # --- replay the delivery history of a restarted incarnation ---
+        if self.restarted:
+            self.evlog_sock.send(wire.EvFetch(rank=self.rank,
+                                              after=self.app_state[POS]))
+            resp = yield self.evlog_sock.recv()
+            assert isinstance(resp, wire.EvFetchResp), resp
+            self.begin_replay(list(resp.events))
+        self.proc.spawn_thread(self.evlog_reader(),
+                               name=f"v2.{self.rank}.evlog")
+        self.proc.spawn_thread(self.independent_ckpt_loop(),
+                               name=f"v2.{self.rank}.ckpt")
 
-    if config.n_procs > 1:
-        yield core.mesh_ready
 
-    # --- replay ------------------------------------------------------------------
-    if restarted:
-        core.evlog_sock.send(wire.EvFetch(rank=rank,
-                                          after=core.app_state[POS]))
-        resp = yield core.evlog_sock.recv()
-        assert isinstance(resp, wire.EvFetchResp), resp
-        core.begin_replay(list(resp.events))
-    proc.spawn_thread(core.evlog_reader(), name=f"v2.{rank}.evlog")
-
-    # --- run ----------------------------------------------------------------------
-    proc.spawn_thread(core.ckpt_loop(), name=f"v2.{rank}.ckpt")
-    core.app_proc = proc.spawn_thread(core.app_thread(), name=f"mpi.{rank}")
-
-    yield engine.event(name=f"v2.{rank}.forever")
+def v2daemon_main(proc, config, rank: int, epoch: int, incarnation: int,
+                  app_factory):
+    """Main generator of a V2 communication daemon process."""
+    return daemon_lifecycle(V2Daemon, proc, config, rank, epoch,
+                            incarnation, app_factory)

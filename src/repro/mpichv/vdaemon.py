@@ -23,73 +23,36 @@ present, checkpoint-server fetch otherwise), replays logged messages
 into the application inbox, re-establishes the mesh and resumes the
 application from the restored state.
 
-The instrumentation point ``localMPI_setCommand`` sits exactly where
-the paper places it: after the initial argument exchange with the
-dispatcher (our ``Register``/``RegisterAck``), so the dispatcher
-already counts the daemon as running when the trace point is reached.
+The generic lifecycle (listener, dispatcher exchange, trace point,
+mesh build, termination) lives in :mod:`repro.mpichv.daemonbase`; this
+module contains only the Chandy-Lamport protocol logic.
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set
 
-from repro.cluster.network import ConnectionRefused
-from repro.cluster.unixproc import UnixProcess
-from repro.mpi.endpoint import LocalDelivery, MpiEndpoint
 from repro.mpi.message import AppMessage
 from repro.mpichv import wire
 from repro.mpichv.checkpoint import CheckpointImage, node_local_store
+from repro.mpichv.daemonbase import (MpichDaemon, connect_retry,
+                                     daemon_lifecycle)
 from repro.simkernel.store import StoreClosed
 
-
-def connect_retry(proc: UnixProcess, addr, backoff_initial: float,
-                  backoff_max: float, stop: Callable[[], bool] = lambda: False):
-    """Connect with exponential backoff; loops while refused.
-
-    This retry loop is load-bearing for the reproduction: daemons that
-    keep retrying a peer that will never come back are *how the
-    dispatcher bug manifests as a freeze* (§5.3).
-    """
-    delay = backoff_initial
-    while not stop():
-        try:
-            sock = yield proc.node.connect(addr, owner=proc)
-            return sock
-        except ConnectionRefused:
-            yield proc.engine.timeout(delay)
-            delay = min(delay * 2, backoff_max)
-    return None
+__all__ = ["VclDaemon", "vdaemon_main", "connect_retry"]
 
 
-class VclDaemon:
-    """State + threads of one communication daemon instance."""
+class VclDaemon(MpichDaemon):
+    """Chandy-Lamport protocol logic of one communication daemon."""
 
-    def __init__(self, proc: UnixProcess, config, rank: int, epoch: int,
-                 incarnation: int, app_factory: Callable[[MpiEndpoint], Any]):
-        self.proc = proc
-        self.engine = proc.engine
-        self.config = config
-        self.timing = config.timing
-        self.rank = rank
-        self.epoch = epoch
-        self.incarnation = incarnation
-        self.app_factory = app_factory
-        self.n = config.n_procs
+    protocol = "vcl"
+    hello_cls = wire.Hello
 
-        # app-side plumbing: deliveries land directly in the
-        # checkpointable state buffer (see repro.mpi.endpoint.Transport)
-        self.app_state: dict = {}
-        self.delivery = LocalDelivery(self.engine, self.app_state,
-                                      name=f"inbox.r{rank}")
-        self.endpoint: Optional[MpiEndpoint] = None
+    def init_protocol(self) -> None:
         #: blocking variant: arrivals on already-flushed channels, held
         #: out of the snapshot until the wave ends
         self.post_flush: List[AppMessage] = []
-
-        # mesh
-        self.peers: Dict[int, Any] = {}         # rank -> socket
-        self.mesh_ready = self.engine.event(name=f"mesh_ready.r{rank}")
 
         # Chandy-Lamport bookkeeping
         self.current_wave = 0
@@ -100,15 +63,7 @@ class VclDaemon:
         self.store_acks: Dict[int, int] = {}     # wave -> acks received (need 2)
         self.logging_done: Set[int] = set()
 
-        # service sockets
-        self.disp_sock = None
         self.sched_sock = None
-        self.ckpt_sock = None
-
-        self.terminating = False
-        self.finished = False
-        #: handle of the MPI computation thread (blocking mode freezes it)
-        self.app_proc = None
 
     # ------------------------------------------------------------------
     # transport interface used by MpiEndpoint
@@ -122,14 +77,6 @@ class VclDaemon:
             sock.send(wire.DataMsg(msg))
         # else: peer dead — a failure is being detected; the rollback
         # will discard this whole execution line anyway.
-
-    def app_inbox_get(self):
-        return self.delivery.doorbell()
-
-    def app_done(self) -> None:
-        self.finished = True
-        if self.disp_sock is not None and not self.disp_sock.closed:
-            self.disp_sock.send(wire.Done(rank=self.rank))
 
     # ------------------------------------------------------------------
     # Chandy-Lamport
@@ -327,155 +274,58 @@ class VclDaemon:
             # FetchResp is consumed inline by restore(); it only occurs
             # before this reader is spawned.
 
-    def dispatcher_reader(self):
-        while True:
-            try:
-                msg = yield self.disp_sock.recv()
-            except StoreClosed:
-                return      # dispatcher gone: experiment is over
-            if isinstance(msg, wire.Terminate):
-                self.terminating = True
-                self.proc.spawn_thread(self._terminator(), name="terminator")
-            elif isinstance(msg, wire.Shutdown):
-                self.proc.exit()
-                return
-
-    def _terminator(self):
-        """Cleanup then clean exit; the dispatcher reads the resulting
-        socket closure as the termination acknowledgement."""
-        yield self.engine.timeout(
-            self.timing.uniform(self.engine.random, self.timing.terminate_cleanup))
-        self.proc.exit()
-
     # ------------------------------------------------------------------
-    # app thread
+    # lifecycle hooks
     # ------------------------------------------------------------------
-    def app_thread(self):
-        ep = MpiEndpoint(self.rank, self.n, self.app_state, self, self.engine)
-        self.endpoint = ep
-        yield from self.app_factory(ep)
+    def on_mesh_hello(self, sock, hello) -> None:
+        self.peers[hello.rank] = sock
+        self.proc.spawn_thread(self.peer_reader(sock, hello.rank),
+                               name=f"vcl.{self.rank}.peer{hello.rank}")
+        self.check_mesh()
 
+    def connect_services(self, cmd):
+        if not self.config.fault_tolerant:
+            return
+        self.sched_sock = yield from self.connect_service(
+            "svc1", self.config.scheduler_port)
+        yield from self.connect_ckpt_server()
 
-def vdaemon_main(proc: UnixProcess, config, rank: int, epoch: int,
-                 incarnation: int, app_factory):
-    """Main generator of a Vcl communication daemon process."""
-    engine = proc.engine
-    timing = config.timing
-    cluster = proc.node.cluster
-    core = VclDaemon(proc, config, rank, epoch, incarnation, app_factory)
-    proc.tags["vcl"] = core
+    def restore_state(self, cmd):
+        if not self.config.fault_tolerant:
+            self.app_state = {}
+            self.delivery.rebind(self.app_state)
+            return
+        # --- restore state (rollback) before joining the mesh ---------
+        yield from self.restore(cmd.restore_wave)
+        self.proc.spawn_thread(self.ckpt_reader(),
+                               name=f"vcl.{self.rank}.ckptr")
 
-    # Bind the mesh listener before anything else so peers never race us.
-    listener = proc.node.listen(config.daemon_port_base + rank, owner=proc)
-
-    def accept_loop():
-        while True:
-            try:
-                sock = yield listener.accept()
-            except StoreClosed:
-                return
-            try:
-                hello = yield sock.recv()
-            except StoreClosed:
-                continue
-            if isinstance(hello, wire.Hello):
-                core.peers[hello.rank] = sock
-                proc.spawn_thread(core.peer_reader(sock, hello.rank),
-                                  name=f"vdaemon.{rank}.peer{hello.rank}")
-                _check_mesh()
-
-    expected_peers = config.n_procs - 1
-
-    def _check_mesh():
-        if len(core.peers) == expected_peers and not core.mesh_ready.triggered:
-            core.mesh_ready.succeed()
-
-    proc.spawn_thread(accept_loop(), name=f"vdaemon.{rank}.accept")
-
-    # exec + library initialisation time
-    yield engine.timeout(timing.uniform(engine.random, timing.daemon_startup))
-
-    # --- argument exchange with the dispatcher --------------------------------
-    disp_addr = cluster.node("svc0").addr(config.dispatcher_port)
-    core.disp_sock = yield from connect_retry(
-        proc, disp_addr, timing.connect_retry_initial, timing.connect_retry_max)
-    core.disp_sock.send(wire.Register(rank=rank, addr=listener.addr,
-                                      epoch=epoch, incarnation=incarnation))
-    try:
-        ack = yield core.disp_sock.recv()
-    except StoreClosed:
-        proc.abort()
-        return
-    assert isinstance(ack, wire.RegisterAck), ack
-
-    # The paper's instrumentation boundary: the dispatcher now counts
-    # this daemon as running.
-    yield from proc.trace_point("localMPI_setCommand")
-
-    try:
-        cmd = yield core.disp_sock.recv()
-    except StoreClosed:
-        proc.abort()
-        return
-    if isinstance(cmd, wire.Terminate):
-        core.terminating = True
-        yield engine.timeout(
-            timing.uniform(engine.random, timing.terminate_cleanup))
-        proc.exit()
-        return
-    if isinstance(cmd, wire.Shutdown):
-        proc.exit()
-        return
-    assert isinstance(cmd, wire.CommandMap), cmd
-    proc.spawn_thread(core.dispatcher_reader(), name=f"vdaemon.{rank}.disp")
-
-    # --- connect to scheduler and checkpoint server ----------------------------
-    if config.fault_tolerant:
-        sched_addr = cluster.node("svc1").addr(config.scheduler_port)
-        core.sched_sock = yield from connect_retry(
-            proc, sched_addr, timing.connect_retry_initial, timing.connect_retry_max)
-        server_idx = rank % config.n_ckpt_servers
-        ckpt_addr = cluster.node(f"svc{2 + server_idx}").addr(
-            config.ckpt_server_port_base + server_idx)
-        core.ckpt_sock = yield from connect_retry(
-            proc, ckpt_addr, timing.connect_retry_initial, timing.connect_retry_max)
-
-        # --- restore state (rollback) before joining the mesh --------
-        yield from core.restore(cmd.restore_wave)
-        proc.spawn_thread(core.ckpt_reader(), name=f"vdaemon.{rank}.ckptr")
-    else:
-        core.app_state = {}
-        core.delivery.rebind(core.app_state)
-
-    # --- build the mesh: connect to every lower rank ----------------------------
-    def dial(peer_rank: int):
-        addr = cmd.addrs[peer_rank]
+    def dial_peer(self, peer_rank: int, addr):
         sock = yield from connect_retry(
-            proc, addr, timing.connect_retry_initial, timing.connect_retry_max,
-            stop=lambda: core.terminating)
+            self.proc, addr, self.timing.connect_retry_initial,
+            self.timing.connect_retry_max, stop=lambda: self.terminating)
         if sock is None:
             return
-        sock.send(wire.Hello(rank=rank, epoch=epoch))
-        core.peers[peer_rank] = sock
-        proc.spawn_thread(core.peer_reader(sock, peer_rank),
-                          name=f"vdaemon.{rank}.peer{peer_rank}")
-        _check_mesh()
+        sock.send(wire.Hello(rank=self.rank, epoch=self.epoch))
+        self.peers[peer_rank] = sock
+        self.proc.spawn_thread(self.peer_reader(sock, peer_rank),
+                               name=f"vcl.{self.rank}.peer{peer_rank}")
+        self.check_mesh()
 
-    for peer_rank in range(rank):
-        proc.spawn_thread(dial(peer_rank), name=f"vdaemon.{rank}.dial{peer_rank}")
+    def after_mesh(self, cmd):
+        # Announce to the scheduler only once the mesh is complete, so a
+        # marker wave can never catch this daemon with missing outgoing
+        # channels (which would strand the wave).
+        if self.config.fault_tolerant:
+            self.sched_sock.send(wire.SchedHello(rank=self.rank,
+                                                 epoch=self.epoch))
+            self.proc.spawn_thread(self.sched_reader(),
+                                   name=f"vcl.{self.rank}.sched")
+        yield from ()
 
-    if expected_peers:
-        yield core.mesh_ready
 
-    # Announce to the scheduler only once the mesh is complete, so a
-    # marker wave can never catch this daemon with missing outgoing
-    # channels (which would strand the wave).
-    if config.fault_tolerant:
-        core.sched_sock.send(wire.SchedHello(rank=rank, epoch=epoch))
-        proc.spawn_thread(core.sched_reader(), name=f"vdaemon.{rank}.sched")
-
-    # --- run the application ------------------------------------------------------
-    core.app_proc = proc.spawn_thread(core.app_thread(), name=f"mpi.{rank}")
-
-    # Main thread idles; the process lives until Terminate/Shutdown.
-    yield engine.event(name=f"vdaemon.{rank}.forever")
+def vdaemon_main(proc, config, rank: int, epoch: int, incarnation: int,
+                 app_factory):
+    """Main generator of a Vcl communication daemon process."""
+    return daemon_lifecycle(VclDaemon, proc, config, rank, epoch,
+                            incarnation, app_factory)

@@ -284,3 +284,63 @@ class EvPrune:
     rank: int
     upto: int
     size: int = 64
+
+
+# ---------------------------------------------------------------------------
+# V1 protocol (remote pessimistic logging in Channel Memories, MPICH-V1)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CMPut:
+    """Daemon -> channel memory: relay an application message to
+    ``dst`` through its home CM.  ``seq`` is the per (src, dst) channel
+    sequence number (starting at 1), used by the CM to deduplicate the
+    re-sends a recovering sender regenerates."""
+
+    src: int
+    dst: int
+    seq: int
+    app: AppMessage
+
+    @property
+    def size(self) -> int:
+        return self.app.size
+
+
+@dataclass(frozen=True)
+class CMDeliver:
+    """Channel memory -> daemon: the next message of ``rank``'s total
+    delivery order.  ``pos`` is the position the CM assigned when it
+    logged the message — the log write precedes this forward, which is
+    what makes the logging pessimistic."""
+
+    rank: int                 # receiver
+    pos: int                  # position in the receiver's delivery order
+    src: int
+    seq: int                  # sender's channel sequence number
+    app: AppMessage
+
+    @property
+    def size(self) -> int:
+        return self.app.size
+
+
+@dataclass(frozen=True)
+class CMAttach:
+    """Daemon -> its home channel memory: start (or resume) forwarding
+    my delivery order after position ``after`` (the delivery count in
+    my restored image; 0 on a fresh start)."""
+
+    rank: int
+    after: int
+    size: int = 64
+
+
+@dataclass(frozen=True)
+class CMPrune:
+    """Daemon -> its home channel memory: my checkpoint covers
+    deliveries up to position ``upto``; earlier log entries may go."""
+
+    rank: int
+    upto: int
+    size: int = 64

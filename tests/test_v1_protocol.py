@@ -1,0 +1,230 @@
+"""Tests for the V1 protocol (remote pessimistic logging in Channel
+Memories).
+
+Covers the channel-memory state machine, the deployment plan, the
+single-rank restart + CM replay path, and the property that sets V1
+apart from V2 in the family: *simultaneous* failures are tolerated,
+because nothing fault-critical lives in volatile daemon memory.
+"""
+
+import pytest
+
+from repro.analysis.classify import Outcome
+from repro.mpi.message import AppMessage
+from repro.mpichv.channelmemory import ChannelMemoryState
+from repro.mpichv.config import VclConfig
+from repro.mpichv.runtime import VclRuntime
+from repro.workloads.masterworker import MasterWorkerWorkload
+from repro.workloads.nas_bt import BTWorkload
+from repro.workloads.ring import RingWorkload
+
+
+def v1_runtime(workload=None, n=4, seed=0, **cfg):
+    cfg.setdefault("footprint", 1.2e8)
+    config = VclConfig(n_procs=n, n_machines=n + 2, protocol="v1", **cfg)
+    wl = workload or BTWorkload(n_procs=n, niters=20, total_compute=400.0,
+                                footprint=cfg["footprint"])
+    return VclRuntime(config, wl.make_factory(), seed=seed)
+
+
+def kill_at(rt, when, which=1):
+    def do():
+        procs = rt.cluster.all_procs("vdaemon")
+        if procs:
+            procs[which % len(procs)].kill()
+    rt.engine.call_at(when, do)
+
+
+def kill_batch_at(rt, when, count):
+    """Kill ``count`` distinct daemons at the same simulated instant."""
+    def do():
+        procs = rt.cluster.all_procs("vdaemon")
+        for proc in procs[:count]:
+            proc.kill()
+    rt.engine.call_at(when, do)
+
+
+def assert_clean(rt):
+    assert not getattr(rt.engine, "process_failures", []), \
+        [(p.name, p.error) for p in rt.engine.process_failures]
+
+
+def msg(src, dst, tag=1):
+    return AppMessage(src=src, dst=dst, tag=tag, payload=0, size=64)
+
+
+# ---------------------------------------------------------------------------
+# channel memory state
+# ---------------------------------------------------------------------------
+
+def test_cm_assigns_positions_and_orders_per_receiver():
+    st = ChannelMemoryState()
+    assert st.record(1, 0, 1, msg(1, 0, tag=10)) == 1
+    assert st.record(2, 0, 1, msg(2, 0, tag=11)) == 2
+    assert st.record(1, 0, 2, msg(1, 0, tag=12)) == 3
+    # another receiver has an independent order
+    assert st.record(0, 1, 1, msg(0, 1, tag=13)) == 1
+    assert [e[0] for e in st.replay_after(0, 0)] == [1, 2, 3]
+    assert [e[3].tag for e in st.replay_after(0, 1)] == [11, 12]
+
+
+def test_cm_dedupes_regenerated_sends():
+    st = ChannelMemoryState()
+    st.record(1, 0, 1, msg(1, 0))
+    st.record(1, 0, 2, msg(1, 0))
+    # a recovering sender re-executes and re-puts the same sequences
+    assert st.record(1, 0, 1, msg(1, 0)) is None
+    assert st.record(1, 0, 2, msg(1, 0)) is None
+    assert st.duplicates == 2
+    assert st.logged == 2
+    # the next fresh sequence continues the order
+    assert st.record(1, 0, 3, msg(1, 0)) == 3
+
+
+def test_cm_prune_keeps_positions_monotonic():
+    st = ChannelMemoryState()
+    for seq in (1, 2, 3):
+        st.record(1, 0, seq, msg(1, 0))
+    st.prune(0, 2)
+    assert st.pruned == 2
+    assert [e[0] for e in st.replay_after(0, 0)] == [3]
+    # pruning never recycles positions
+    assert st.record(2, 0, 1, msg(2, 0)) == 4
+
+
+# ---------------------------------------------------------------------------
+# configuration + deployment
+# ---------------------------------------------------------------------------
+
+def test_v1_deployment_has_cms_not_scheduler_or_eventlog():
+    rt = v1_runtime()
+    rt.deploy()
+    assert len(rt.cm_procs) == rt.config.n_channel_memories
+    assert rt.scheduler_proc is None
+    assert rt.eventlog_proc is None
+
+
+# ---------------------------------------------------------------------------
+# fault-free behaviour
+# ---------------------------------------------------------------------------
+
+def test_v1_fault_free_terminates_and_verifies():
+    rt = v1_runtime()
+    res = rt.run()
+    assert res.outcome is Outcome.TERMINATED
+    assert res.trace.count("verify_ok") == 1
+    # independent checkpoints: several per rank, no waves
+    assert res.trace.count("v1_ckpt") >= 4
+    assert res.trace.count("ckpt_wave_start") == 0
+    # every rank attached to its home CM exactly once
+    assert res.trace.count("cm_attach") == rt.config.n_procs
+    assert_clean(rt)
+
+
+def test_v1_remote_logging_adds_latency():
+    """Every message transits a Channel Memory — the double hop must
+    cost something relative to Vcl's direct mesh."""
+    t_v1 = v1_runtime(seed=1).run().exec_time
+
+    config = VclConfig(n_procs=4, n_machines=6, footprint=1.2e8)
+    wl = BTWorkload(n_procs=4, niters=20, total_compute=400.0, footprint=1.2e8)
+    t_vcl = VclRuntime(config, wl.make_factory(), seed=1).run().exec_time
+    assert t_v1 > t_vcl
+    assert t_v1 < t_vcl * 1.2      # but not catastrophically
+
+
+def test_v1_single_cm_works():
+    rt = v1_runtime(n_channel_memories=1)
+    res = rt.run()
+    assert res.outcome is Outcome.TERMINATED
+    assert_clean(rt)
+
+
+# ---------------------------------------------------------------------------
+# failures: single-rank restart, replay from the CM
+# ---------------------------------------------------------------------------
+
+def test_v1_single_failure_restarts_one_rank_only():
+    rt = v1_runtime(seed=3)
+    kill_at(rt, 70.0)
+    res = rt.run()
+    assert res.outcome is Outcome.TERMINATED
+    assert res.trace.count("verify_ok") == 1
+    # exactly one restore — survivors never restarted
+    assert res.trace.count("restore") == 1
+    # the restarted rank re-attached: n initial attaches + 1 recovery
+    assert res.trace.count("cm_attach") == rt.config.n_procs + 1
+    # and its recovery attach replayed history from the CM
+    reattach = [r for r in res.trace.of_kind("cm_attach") if r.after > 0]
+    assert reattach and reattach[-1].replayed >= 0
+    assert_clean(rt)
+
+
+def test_v1_failure_before_any_checkpoint_full_replay():
+    rt = v1_runtime(seed=3)
+    kill_at(rt, 20.0)          # before every first checkpoint
+    res = rt.run()
+    assert res.outcome is Outcome.TERMINATED
+    # no image to restore: replay starts from position 0
+    rec = res.trace.of_kind("cm_attach")[rt.config.n_procs:]
+    assert rec and rec[-1].after == 0 and rec[-1].replayed > 0
+    assert res.trace.count("verify_ok") == 1
+    assert_clean(rt)
+
+
+# ---------------------------------------------------------------------------
+# the V1 selling point: simultaneous failures are tolerated
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed,when,count", [
+    (11, 55.0, 2),
+    (12, 45.0, 3),
+    (13, 70.0, 2),
+])
+def test_v1_simultaneous_failures_recover(seed, when, count):
+    rt = v1_runtime(seed=seed)
+    kill_batch_at(rt, when, count)
+    res = rt.run()
+    assert_clean(rt)
+    assert res.outcome is Outcome.TERMINATED
+    assert res.trace.count("verify_ok") == 1
+    # every killed rank recovered through its own CM, independently
+    assert res.trace.count("cm_attach") == rt.config.n_procs + count
+
+
+@pytest.mark.parametrize("seed,kills", [
+    (21, (40.0,)),
+    (22, (45.0, 95.0)),
+    (23, (33.0, 80.0, 120.0)),
+])
+def test_v1_checksum_exact_under_sequential_kills(seed, kills):
+    rt = v1_runtime(seed=seed)
+    for i, t in enumerate(kills):
+        kill_at(rt, t, which=i * 3 + 1)
+    res = rt.run()
+    assert_clean(rt)
+    assert res.outcome is Outcome.TERMINATED
+    assert res.trace.count("verify_ok") == 1
+
+
+def test_v1_ring_and_masterworker_survive_kills():
+    for wl, kill_t in ((RingWorkload(n_procs=4, rounds=40, work_per_hop=1.0),
+                        25.0),
+                       (MasterWorkerWorkload(n_procs=4, n_tasks=30,
+                                             work_per_task=2.0), 25.0)):
+        rt = v1_runtime(workload=wl, seed=4, footprint=4e7)
+        kill_at(rt, kill_t, which=2)
+        res = rt.run(timeout=600.0)
+        assert res.outcome is Outcome.TERMINATED, type(wl).__name__
+        assert_clean(rt)
+
+
+def test_v1_deterministic_per_seed():
+    def run():
+        rt = v1_runtime(seed=31)
+        kill_batch_at(rt, 50.0, 2)
+        return rt.run()
+
+    first, second = run(), run()
+    assert first.exec_time == second.exec_time
+    assert first.events_processed == second.events_processed

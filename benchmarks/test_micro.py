@@ -36,6 +36,28 @@ def test_engine_event_throughput(benchmark):
 
 
 @pytest.mark.benchmark(group="micro")
+def test_engine_callback_dispatch_throughput(benchmark):
+    """The ``Engine.run`` hot path in isolation: heap pop + bare
+    callback dispatch, no generator machinery.  This is the loop every
+    message/timer of a trial passes through; the inlined-loop
+    optimization in :meth:`Engine.run` is pinned by this benchmark."""
+    N = 20000
+
+    def run():
+        eng = Engine(seed=0)
+
+        def cb():
+            pass
+
+        for i in range(N):
+            eng.call_later(0.001 * (i % 977), cb)
+        eng.run()
+        return eng.events_processed
+
+    assert benchmark(run) == N
+
+
+@pytest.mark.benchmark(group="micro")
 def test_store_put_get_throughput(benchmark):
     def run():
         eng = Engine(seed=0)

@@ -20,6 +20,8 @@ COMMANDS = {
     "table1": ("repro.experiments.table1_tools", "tool comparison table"),
     "compare-protocols": ("repro.experiments.compare_protocols",
                           "vcl vs v2 vs v1 under identical scenarios"),
+    "explore": ("repro.explore.campaign",
+                "generated fault scenarios + oracles + shrinking"),
 }
 
 #: legacy spellings kept working

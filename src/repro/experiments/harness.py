@@ -31,6 +31,12 @@ class TrialSetup:
     n_machines: int
     scenario_source: Optional[str] = None
     scenario_params: Dict[str, int] = field(default_factory=dict)
+    #: provenance of a *generated* scenario (family, generator params,
+    #: plan digest — see :mod:`repro.explore.generators`).  Not used to
+    #: build the trial, but part of the cache key: two generated
+    #: schedules can never alias a cache slot even if a generator bug
+    #: made their rendered sources collide.
+    scenario_meta: Dict[str, object] = field(default_factory=dict)
     #: instance -> daemon name; groups bind to all compute machines
     master_daemon: str = "ADV1"
     node_daemon: str = "ADV2"
@@ -52,10 +58,13 @@ class TrialSetup:
     total_compute: float = 8800.0
     footprint: float = 1.6e9
     keep_trace: bool = False
+    #: extra :class:`VclConfig` attributes (e.g. ``{"cm_replay": False}``
+    #: to plant the broken-replay bug the exploration oracles hunt)
+    config_overrides: Dict[str, object] = field(default_factory=dict)
 
     def build(self, seed: int):
         """Construct (runtime, deployment) for one repetition."""
-        config = VclConfig(
+        config_kwargs = dict(
             n_procs=self.n_procs,
             n_machines=self.n_machines,
             ckpt_period=self.ckpt_period,
@@ -65,6 +74,10 @@ class TrialSetup:
             protocol=self.protocol,
             footprint=self.footprint,
         )
+        # overrides win, including over the fields mirrored above —
+        # "extra VclConfig attribute" means *any* of them
+        config_kwargs.update(self.config_overrides)
+        config = VclConfig(**config_kwargs)
         workload = build_workload(
             self.workload,
             n_procs=self.n_procs,

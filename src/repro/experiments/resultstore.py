@@ -35,7 +35,7 @@ from repro.analysis.traces import Trace, TraceRecord
 from repro.mpichv.runtime import RunResult
 
 #: bump when the document layout changes; readers reject other versions
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2    # 2: app_signature + invariant_violations
 
 
 def _json_safe(value: Any) -> Any:
@@ -88,6 +88,8 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
         "failures_detected": result.failures_detected,
         "waves_committed": result.waves_committed,
         "events_processed": result.events_processed,
+        "app_signature": result.app_signature,
+        "invariant_violations": list(result.invariant_violations),
     }
 
 
@@ -113,6 +115,8 @@ def run_result_from_dict(doc: Dict[str, Any]) -> RunResult:
         failures_detected=doc["failures_detected"],
         waves_committed=doc["waves_committed"],
         events_processed=doc["events_processed"],
+        app_signature=doc.get("app_signature"),
+        invariant_violations=list(doc.get("invariant_violations", [])),
     )
 
 

@@ -1,0 +1,576 @@
+"""Exploration campaigns: sweep protocol × workload × generator grids.
+
+A campaign turns a trial budget into a deterministic matrix of
+generated fault scenarios, executes every trial through the shared
+:class:`~repro.experiments.runner.TrialRunner` (inheriting worker
+fan-out, the on-disk result cache and the parallel == serial
+bit-for-bit guarantee), checks each result against the recovery
+oracles, and delta-debugs any failure down to a minimal ``.fail``
+reproducer.
+
+Everything that lands in the verdict table is a pure function of the
+campaign seed and configuration: scenario text, trial seeds, row order
+and formatting.  Two runs of ``python -m repro explore --quick --seed
+7`` produce byte-identical tables — wall-clock numbers go only to the
+benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.harness import TrialSetup
+from repro.experiments.runner import (TrialRunner, add_runner_arguments,
+                                      runner_from_args)
+import repro.explore.shrink as shrinklib
+from repro.explore import generators
+from repro.explore.generators import (GeneratedScenario, GeneratorContext,
+                                      render_plan)
+from repro.explore.oracles import (OracleReport, failed_names, run_oracles)
+from repro.mpichv import protocols
+from repro.mpichv.runtime import RunResult
+from repro.workloads import available_workloads
+
+#: per-workload calibration at the campaign's default 4-process scale:
+#: long enough that the fault window (default 10–80 s) lands mid-run,
+#: short enough that a quick campaign stays CI-sized.
+CALIBRATIONS: Dict[str, Dict[str, float]] = {
+    "ring": {"niters": 40, "total_compute": 1280.0},      # ≈80 s fault-free
+    "bt": {"niters": 30, "total_compute": 480.0},         # ≈120 s fault-free
+    "masterworker": {"niters": 40, "total_compute": 480.0},
+}
+
+
+def derive_seed(*parts: object) -> int:
+    """Stable 31-bit seed from arbitrary labels (hash-stable)."""
+    text = ":".join(map(str, parts))
+    return int(hashlib.sha256(text.encode("utf-8")).hexdigest()[:8], 16)
+
+
+@dataclass(frozen=True)
+class ExploreConfig:
+    """One campaign, fully determined (with a seed) by these knobs."""
+
+    protocols: Tuple[str, ...] = ()          # () -> every registered one
+    workloads: Tuple[str, ...] = ("ring",)
+    families: Tuple[str, ...] = ()           # () -> every family
+    #: total fault-trial budget, split evenly over the grid
+    budget: int = 90
+    seed: int = 0
+    n_procs: int = 4
+    n_machines: int = 7
+    #: simulated-time budget per trial (the oracle's progress horizon)
+    timeout: float = 300.0
+    #: explore the fixed dispatcher by default; True hunts the paper's bug
+    bug_compat: bool = False
+    window: Tuple[int, int] = (10, 80)
+    max_faults: int = 4
+    #: extra VclConfig attributes (e.g. {"cm_replay": False})
+    config_overrides: Dict[str, object] = field(default_factory=dict)
+    #: candidate-trial budget per shrink, and how many failures to shrink
+    shrink_budget: int = 48
+    max_shrinks: int = 4
+
+    def resolved_protocols(self) -> Tuple[str, ...]:
+        return tuple(self.protocols) or tuple(protocols.available())
+
+    def resolved_families(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.families or generators.FAMILIES))
+
+    def resolved_workloads(self) -> Tuple[str, ...]:
+        for name in self.workloads:
+            if name not in available_workloads():
+                raise ValueError(f"unknown workload {name!r}")
+        return tuple(self.workloads)
+
+    def generator_context(self) -> GeneratorContext:
+        stride = int(self.config_overrides.get("n_channel_memories", 2))
+        return GeneratorContext(
+            n_machines=self.n_machines, n_busy=self.n_procs,
+            window=self.window, max_faults=self.max_faults,
+            cm_stride=max(1, stride))
+
+
+def quick_config(seed: int = 0, **overrides) -> ExploreConfig:
+    """The CI-sized campaign: one scenario per grid cell, ring only."""
+    overrides.setdefault("workloads", ("ring",))
+    cfg = ExploreConfig(seed=seed, budget=0, **overrides)
+    cells = (len(cfg.resolved_families()) * len(cfg.resolved_protocols())
+             * len(cfg.resolved_workloads()))
+    return replace(cfg, budget=cells)
+
+
+# ---------------------------------------------------------------------------
+# trial construction
+# ---------------------------------------------------------------------------
+
+def _base_setup(cfg: ExploreConfig, workload: str,
+                protocol: str) -> TrialSetup:
+    calibration = CALIBRATIONS.get(workload, {})
+    return TrialSetup(
+        n_procs=cfg.n_procs, n_machines=cfg.n_machines,
+        bug_compat=cfg.bug_compat, timeout=cfg.timeout,
+        protocol=protocol, workload=workload,
+        niters=int(calibration.get("niters", 30)),
+        total_compute=float(calibration.get("total_compute", 480.0)),
+        footprint=1e8,
+        config_overrides=dict(cfg.config_overrides),
+    )
+
+
+def scenario_setup(cfg: ExploreConfig, scenario: GeneratedScenario,
+                   workload: str, protocol: str) -> TrialSetup:
+    base = _base_setup(cfg, workload, protocol)
+    return replace(
+        base,
+        scenario_source=scenario.source,
+        scenario_meta=scenario.meta(),
+        master_daemon=generators.MASTER,
+        node_daemon=generators.NODE_DAEMON,
+    )
+
+
+def golden_setup(cfg: ExploreConfig, workload: str,
+                 protocol: str) -> TrialSetup:
+    """The fault-free reference run (no scenario deployed)."""
+    return _base_setup(cfg, workload, protocol)
+
+
+# ---------------------------------------------------------------------------
+# verdicts
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Verdict:
+    """One trial's classification plus its oracle reports."""
+
+    scenario: GeneratedScenario
+    protocol: str
+    workload: str
+    trial_seed: int
+    result: RunResult
+    oracles: List[OracleReport]
+
+    @property
+    def failed(self) -> List[str]:
+        return failed_names(self.oracles)
+
+    def sort_key(self):
+        return (self.scenario.family, self.scenario.index, self.protocol,
+                self.workload)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario.scenario_id,
+            "family": self.scenario.family,
+            "index": self.scenario.index,
+            "description": self.scenario.description,
+            "plan": repr(self.scenario.plan),
+            "protocol": self.protocol,
+            "workload": self.workload,
+            "trial_seed": self.trial_seed,
+            "outcome": self.result.outcome.value,
+            "exec_time": self.result.exec_time,
+            "failures_detected": self.result.failures_detected,
+            "restarts": self.result.restarts,
+            "app_signature": self.result.app_signature,
+            "oracles": {r.name: {"passed": r.passed, "detail": r.detail}
+                        for r in self.oracles},
+            "failed": self.failed,
+        }
+
+
+@dataclass
+class ShrinkReport:
+    """A failing trial reduced to its minimal reproducer."""
+
+    verdict: Verdict
+    outcome: shrinklib.ShrinkResult
+    #: written .fail path (None when the campaign has no output dir)
+    fail_file: Optional[str]
+    command: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.verdict.scenario.scenario_id,
+            "protocol": self.verdict.protocol,
+            "workload": self.verdict.workload,
+            "minimal_plan": repr(self.outcome.plan),
+            "n_machines": self.outcome.n_machines,
+            "trials_used": self.outcome.trials_used,
+            "reductions": list(self.outcome.reductions),
+            "fail_file": self.fail_file,
+            "command": self.command,
+        }
+
+
+@dataclass
+class CampaignResult:
+    config: ExploreConfig
+    rows: List[Verdict]
+    goldens: Dict[Tuple[str, str], RunResult]
+    shrinks: List[ShrinkReport]
+    executed: int
+    cache_hits: int
+    wall_seconds: float
+
+    @property
+    def failures(self) -> List[Verdict]:
+        return [v for v in self.rows if v.failed]
+
+    def oracle_pass_rates(self) -> Dict[str, float]:
+        rates: Dict[str, float] = {}
+        if not self.rows:
+            return rates
+        for name in [r.name for r in self.rows[0].oracles]:
+            passed = sum(1 for v in self.rows
+                         for r in v.oracles if r.name == name and r.passed)
+            rates[name] = passed / len(self.rows)
+        return rates
+
+    def family_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for v in self.rows:
+            counts[v.scenario.family] = counts.get(v.scenario.family, 0) + 1
+        return counts
+
+    # -- rendering (fully deterministic) -----------------------------------
+    def render_table(self) -> str:
+        header = (f"{'scenario':>26} | {'protocol':>8} | {'workload':>12} | "
+                  f"{'outcome':>15} | {'time':>7} | {'inj':>3} | oracles")
+        lines = [f"== explore campaign (seed {self.config.seed}, "
+                 f"{len(self.rows)} trials) ==", header, "-" * len(header)]
+        for v in self.rows:
+            t = v.result.exec_time
+            timing = f"{t:7.1f}" if t is not None else "      -"
+            status = "ok" if not v.failed else ",".join(v.failed)
+            lines.append(
+                f"{v.scenario.scenario_id:>26} | {v.protocol:>8} | "
+                f"{v.workload:>12} | {v.result.outcome.value:>15} | "
+                f"{timing} | {v.result.failures_detected:>3} | {status}")
+        lines.append("-" * len(header))
+        for name, rate in sorted(self.oracle_pass_rates().items()):
+            lines.append(f"oracle {name:>22}: {100.0 * rate:6.1f} % pass")
+        for family, count in sorted(self.family_counts().items()):
+            lines.append(f"family {family:>22}: {count} trial(s)")
+        lines.append(f"failures: {len(self.failures)}")
+        for report in self.shrinks:
+            lines.append(
+                f"shrunk {report.verdict.scenario.scenario_id} "
+                f"[{report.verdict.protocol}/{report.verdict.workload}]: "
+                + shrinklib.describe(report.outcome,
+                                     report.verdict.scenario.plan))
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> Dict[str, object]:
+        """Deterministic document (no wall-clock entries)."""
+        return {
+            "seed": self.config.seed,
+            "protocols": list(self.config.resolved_protocols()),
+            "workloads": list(self.config.resolved_workloads()),
+            "families": list(self.config.resolved_families()),
+            "budget": self.config.budget,
+            "trials": len(self.rows),
+            "rows": [v.to_dict() for v in self.rows],
+            "oracle_pass_rates": self.oracle_pass_rates(),
+            "family_counts": self.family_counts(),
+            "failures": len(self.failures),
+            "shrinks": [s.to_dict() for s in self.shrinks],
+        }
+
+    def bench_json(self) -> Dict[str, object]:
+        """Benchmark document (includes wall-clock)."""
+        total = self.executed + self.cache_hits
+        return {
+            "campaign": {
+                "seed": self.config.seed,
+                "trials": len(self.rows),
+                "goldens": len(self.goldens),
+                "failures": len(self.failures),
+            },
+            "wall_seconds": self.wall_seconds,
+            "trials_per_second": (total / self.wall_seconds
+                                  if self.wall_seconds > 0 else None),
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "oracle_pass_rates": self.oracle_pass_rates(),
+            "shrink_steps": [s.to_dict() for s in self.shrinks],
+        }
+
+
+# ---------------------------------------------------------------------------
+# the driver
+# ---------------------------------------------------------------------------
+
+def _repro_command(cfg: ExploreConfig, verdict: Verdict,
+                   outcome: shrinklib.ShrinkResult,
+                   fail_file: Optional[str]) -> str:
+    """One line that replays the minimal scenario."""
+    parts = [
+        "python -m repro explore",
+        f"--replay {fail_file or '<scenario.fail>'}",
+        f"--protocols {verdict.protocol}",
+        f"--workloads {verdict.workload}",
+        f"--procs {cfg.n_procs}",
+        f"--machines {outcome.n_machines}",
+        f"--trial-seed {verdict.trial_seed}",
+        f"--timeout {cfg.timeout:g}",
+    ]
+    if cfg.bug_compat:
+        parts.append("--bug-compat")
+    for key, value in sorted(cfg.config_overrides.items()):
+        parts.append(f"--override {key}={value}")
+    return " ".join(parts)
+
+
+def run_campaign(cfg: ExploreConfig,
+                 runner: Optional[TrialRunner] = None,
+                 out_dir: Optional[str] = None) -> CampaignResult:
+    """Execute one campaign; see the module docstring for guarantees."""
+    t0 = time.perf_counter()
+    runner = runner or TrialRunner()
+    before = runner.stats.snapshot()
+    families = cfg.resolved_families()
+    protos = cfg.resolved_protocols()
+    workloads = cfg.resolved_workloads()
+    ctx = cfg.generator_context()
+
+    cells = len(families) * len(protos) * len(workloads)
+    per_family = max(1, cfg.budget // max(1, cells))
+    scenarios = generators.generate_suite(families, per_family, cfg.seed, ctx)
+
+    # one flat job list: goldens first, then every (scenario, cell) trial
+    golden_keys = [(protocol, workload)
+                   for protocol in protos for workload in workloads]
+    jobs: List[Tuple[TrialSetup, int]] = [
+        (golden_setup(cfg, workload, protocol),
+         derive_seed(cfg.seed, "golden", protocol, workload))
+        for protocol, workload in golden_keys]
+    trial_plan: List[Tuple[GeneratedScenario, str, str, int]] = []
+    for scenario in scenarios:
+        for protocol in protos:
+            for workload in workloads:
+                seed = derive_seed(cfg.seed, scenario.family, scenario.index,
+                                   protocol, workload)
+                trial_plan.append((scenario, protocol, workload, seed))
+                jobs.append((scenario_setup(cfg, scenario, workload,
+                                            protocol), seed))
+    results = runner.run_jobs(jobs)
+
+    goldens = dict(zip(golden_keys, results[:len(golden_keys)]))
+    rows = [
+        Verdict(scenario=scenario, protocol=protocol, workload=workload,
+                trial_seed=seed, result=result,
+                oracles=run_oracles(result, goldens[(protocol, workload)],
+                                    plan=scenario.plan, protocol=protocol))
+        for (scenario, protocol, workload, seed), result
+        in zip(trial_plan, results[len(golden_keys):])]
+    rows.sort(key=Verdict.sort_key)
+
+    shrinks = _shrink_failures(cfg, rows, goldens, runner, out_dir)
+    executed, hits = runner.stats.snapshot()
+    return CampaignResult(
+        config=cfg, rows=rows, goldens=goldens, shrinks=shrinks,
+        executed=executed - before[0], cache_hits=hits - before[1],
+        wall_seconds=time.perf_counter() - t0)
+
+
+def _shrink_failures(cfg: ExploreConfig, rows: List[Verdict],
+                     goldens: Dict[Tuple[str, str], RunResult],
+                     runner: TrialRunner,
+                     out_dir: Optional[str]) -> List[ShrinkReport]:
+    reports: List[ShrinkReport] = []
+    for verdict in [v for v in rows if v.failed][:cfg.max_shrinks]:
+        golden = goldens[(verdict.protocol, verdict.workload)]
+        base = _base_setup(cfg, verdict.workload, verdict.protocol)
+
+        def still_fails(plan, n_machines, _base=base, _golden=golden,
+                        _seed=verdict.trial_seed,
+                        _protocol=verdict.protocol):
+            source = render_plan(plan)
+            setup = replace(
+                _base, n_machines=n_machines, scenario_source=source,
+                scenario_meta={"shrink": generators.plan_digest(
+                    plan, n_machines)},
+                master_daemon=generators.MASTER,
+                node_daemon=generators.NODE_DAEMON)
+            result = runner.run_jobs([(setup, _seed)])[0]
+            return bool(failed_names(run_oracles(
+                result, _golden, plan=plan, protocol=_protocol)))
+
+        outcome = shrinklib.shrink(
+            verdict.scenario.plan, cfg.n_machines,
+            still_fails=still_fails, min_machines=cfg.n_procs,
+            budget=cfg.shrink_budget)
+        fail_file = None
+        if out_dir is not None:
+            os.makedirs(out_dir, exist_ok=True)
+            name = (f"shrunk_{verdict.scenario.family}"
+                    f"{verdict.scenario.index}_{verdict.protocol}"
+                    f"_{verdict.workload}.fail")
+            fail_file = os.path.join(out_dir, name)
+            with open(fail_file, "w", encoding="utf-8") as fh:
+                fh.write(outcome.source)
+        reports.append(ShrinkReport(
+            verdict=verdict, outcome=outcome, fail_file=fail_file,
+            command=_repro_command(cfg, verdict, outcome, fail_file)))
+    return reports
+
+
+# ---------------------------------------------------------------------------
+# replay: re-run one (possibly shrunk) .fail scenario
+# ---------------------------------------------------------------------------
+
+def replay_scenario(source: str, cfg: ExploreConfig, protocol: str,
+                    workload: str, trial_seed: int,
+                    runner: Optional[TrialRunner] = None
+                    ) -> Tuple[RunResult, List[OracleReport]]:
+    """Run one scenario + its golden and evaluate the oracles."""
+    runner = runner or TrialRunner()
+    base = _base_setup(cfg, workload, protocol)
+    setup = replace(base, scenario_source=source,
+                    scenario_meta={"replay": hashlib.sha256(
+                        source.encode("utf-8")).hexdigest()[:12]},
+                    master_daemon=generators.MASTER,
+                    node_daemon=generators.NODE_DAEMON)
+    golden_seed = derive_seed(cfg.seed, "golden", protocol, workload)
+    golden, result = runner.run_jobs([
+        (golden_setup(cfg, workload, protocol), golden_seed),
+        (setup, trial_seed)])
+    return result, run_oracles(result, golden)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def _parse_override(text: str) -> Tuple[str, object]:
+    key, _, raw = text.partition("=")
+    if not _:
+        raise argparse.ArgumentTypeError(
+            f"override {text!r} is not of the form key=value")
+    value: object
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        value = lowered == "true"
+    else:
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+    return key, value
+
+
+def _csv(values: List[str]) -> Tuple[str, ...]:
+    out: List[str] = []
+    for chunk in values:
+        out.extend(p for p in chunk.split(",") if p)
+    return tuple(out)
+
+
+def main() -> None:  # pragma: no cover - CLI
+    parser = argparse.ArgumentParser(
+        description="property-based fault-space exploration")
+    parser.add_argument("--budget", type=int, default=90,
+                        help="total fault-trial budget (default: 90)")
+    parser.add_argument("--protocols", action="append", default=[],
+                        metavar="NAME[,NAME]",
+                        help="protocols to race (default: all registered)")
+    parser.add_argument("--workloads", action="append", default=[],
+                        metavar="NAME[,NAME]",
+                        help="workloads to stress (default: ring)")
+    parser.add_argument("--families", action="append", default=[],
+                        metavar="NAME[,NAME]",
+                        help="generator families (default: all)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized campaign: one scenario per grid cell")
+    parser.add_argument("--procs", type=int, default=4)
+    parser.add_argument("--machines", type=int, default=7)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    parser.add_argument("--bug-compat", action="store_true",
+                        help="hunt with the paper's dispatcher bug present")
+    parser.add_argument("--override", action="append", default=[],
+                        type=_parse_override, metavar="KEY=VALUE",
+                        help="extra VclConfig attribute (e.g. "
+                             "cm_replay=false plants the broken-replay bug)")
+    parser.add_argument("--max-shrinks", type=int, default=4)
+    parser.add_argument("--shrink-budget", type=int, default=48)
+    parser.add_argument("--out", default="explore_out", metavar="DIR",
+                        help="verdict/shrink output directory")
+    parser.add_argument("--json", default="BENCH_explore.json",
+                        metavar="PATH", help="benchmark JSON path")
+    parser.add_argument("--require-clean", action="store_true",
+                        help="exit 1 if any oracle failed")
+    parser.add_argument("--replay", default=None, metavar="FILE.fail",
+                        help="replay one scenario file instead of a campaign")
+    parser.add_argument("--trial-seed", type=int, default=0,
+                        help="trial seed for --replay")
+    add_runner_arguments(parser)
+    args = parser.parse_args()
+
+    overrides = dict(args.override)
+    common = dict(
+        protocols=_csv(args.protocols), workloads=_csv(args.workloads)
+        or ("ring",), families=_csv(args.families), seed=args.seed,
+        n_procs=args.procs, n_machines=args.machines, timeout=args.timeout,
+        bug_compat=args.bug_compat, config_overrides=overrides,
+        max_shrinks=args.max_shrinks, shrink_budget=args.shrink_budget)
+    runner = runner_from_args(args)
+
+    if args.replay is not None:
+        with open(args.replay, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        cfg = ExploreConfig(budget=1, **common)
+        protocol = cfg.resolved_protocols()[0]
+        workload = cfg.resolved_workloads()[0]
+        result, reports = replay_scenario(source, cfg, protocol, workload,
+                                          args.trial_seed, runner=runner)
+        print(f"replay {args.replay}: protocol={protocol} "
+              f"workload={workload} seed={args.trial_seed}")
+        print(f"outcome: {result.outcome} ({result.verdict.reason})")
+        for report in reports:
+            print(f"  {report}")
+        raise SystemExit(1 if failed_names(reports) else 0)
+
+    if args.quick:
+        cfg = quick_config(**common)
+    else:
+        cfg = ExploreConfig(budget=args.budget, **common)
+    result = run_campaign(cfg, runner=runner, out_dir=args.out)
+
+    table = result.render_table()
+    print(table, end="")
+    os.makedirs(args.out, exist_ok=True)
+    with open(os.path.join(args.out, "verdicts.txt"), "w",
+              encoding="utf-8") as fh:
+        fh.write(table)
+    with open(os.path.join(args.out, "verdicts.json"), "w",
+              encoding="utf-8") as fh:
+        json.dump(result.to_json(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.bench_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    for report in result.shrinks:
+        print(f"minimal reproducer: {report.fail_file}")
+        print(f"  {report.command}")
+    stats = runner.stats
+    print(f"[runner] executed {stats.executed}, cache hits "
+          f"{stats.cache_hits} ({100.0 * stats.hit_rate:.0f}% hit rate)")
+    if args.require_clean and result.failures:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,326 @@
+"""Fault-scenario generators: adversarial FAIL programs from a seed.
+
+The paper's six listings probe six hand-picked fault patterns; this
+module *generates* them.  Every generator family turns a seeded
+``random.Random`` into a :class:`FaultPlan` — a small, shrinkable IR of
+injection steps — and :func:`render_plan` compiles any plan into a
+complete two-daemon FAIL scenario (a master adversary ``XADV`` plus a
+per-machine daemon ``XNODE``) through the construction API of
+:mod:`repro.fail.build`.  The rendered *source text* is the scenario's
+canonical form: it feeds the ordinary compile → interpret pipeline and
+the trial cache key, and the pretty-printer round-trip property
+guarantees it parses back to the same program.
+
+Plan steps
+----------
+
+:class:`TimedKill`
+    At absolute time ``at``, order ``crash`` to machine ``target``.
+:class:`RekillRace`
+    Wait until a previously-killed machine reports its recovery
+    relaunch, then immediately kill ``target`` — the restart-then-
+    rekill race of Figs. 8/9.
+:class:`KillReporter`
+    Wait for a recovery report and kill *whichever machine sent it*
+    (``FAIL_SENDER``) — the fault-during-recovery pattern.
+
+Steps execute strictly in sequence: a timed kill arms its timer only
+after the previous step's acknowledgement (``ok`` — fault injected —
+or ``no`` — nothing ran there, a no-op fault), exactly how the paper's
+masters chain injections.
+
+Families (``FAMILIES``)
+-----------------------
+
+``random_schedule``
+    2–``max_faults`` kills at random times/targets — the baseline sweep.
+``burst``
+    One batch of back-to-back kills at a single instant (Fig. 7's
+    regime, with randomized batch size, time and victims).
+``targeted``
+    Correlated kills: either always rank 0's machine, or the machines
+    whose ranks share home Channel Memory 0 (the ``rank %
+    n_channel_memories`` neighborhood, which also concentrates load on
+    one checkpoint-server pairing).
+``rekill_race``
+    Kill, await the victim's recovery relaunch, kill again.
+``fault_during_recovery``
+    Kill, then kill the first machine that reports a recovery wave.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple, Union
+
+from repro.fail import build as fb
+
+#: generated daemon names (bound via TrialSetup.master_daemon / node_daemon)
+MASTER = "XADV"
+NODE_DAEMON = "XNODE"
+
+
+@dataclass(frozen=True)
+class TimedKill:
+    at: int              # absolute injection time, integer seconds
+    target: int          # machine index in the G1 group
+
+
+@dataclass(frozen=True)
+class RekillRace:
+    target: int
+
+
+@dataclass(frozen=True)
+class KillReporter:
+    pass
+
+
+Step = Union[TimedKill, RekillRace, KillReporter]
+FaultPlan = Tuple[Step, ...]
+
+
+def plan_kills(plan: FaultPlan) -> int:
+    """Number of injection steps in a plan."""
+    return len(plan)
+
+
+def plan_digest(plan: FaultPlan, n_machines: int) -> str:
+    """Short stable digest of a plan (cache-key provenance)."""
+    text = f"{n_machines}|" + "|".join(map(repr, plan))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
+
+
+# ---------------------------------------------------------------------------
+# plan -> FAIL source
+# ---------------------------------------------------------------------------
+
+def _node_daemon():
+    """The generated per-machine daemon.
+
+    Like Fig. 4's ``ADV2`` (control the local process, ack crash
+    orders) plus one extension: a machine that was *killed* reports its
+    recovery relaunch to the master (``waveok``), which is what the
+    reactive plan steps synchronize on.  Exactly one report per kill,
+    for every protocol — single-rank restarts reload only the victim.
+    """
+    P1 = fb.computer("P1")
+    return fb.daemon(
+        NODE_DAEMON,
+        fb.node(
+            1,
+            fb.when(fb.ONLOAD, fb.CONTINUE, fb.goto(2)),
+            fb.when(fb.on_msg("crash"), fb.send("no", P1), fb.goto(1)),
+        ),
+        fb.node(
+            2,
+            fb.when(fb.ONEXIT, fb.goto(1)),
+            fb.when(fb.ONERROR, fb.goto(1)),
+            fb.when(fb.ONLOAD, fb.CONTINUE, fb.goto(2)),
+            fb.when(fb.on_msg("crash"), fb.send("ok", P1), fb.HALT,
+                    fb.goto(3)),
+        ),
+        fb.node(
+            3,
+            fb.when(fb.ONLOAD, fb.send("waveok", P1), fb.CONTINUE,
+                    fb.goto(2)),
+            fb.when(fb.on_msg("crash"), fb.send("no", P1), fb.goto(3)),
+        ),
+    )
+
+
+def _master_daemon(plan: FaultPlan):
+    """Compile a plan into the sequential master adversary."""
+    nodes = []
+    cursor = 0
+    next_id = 1
+    for step in plan:
+        trigger_id, ack_id, after_id = next_id, next_id + 1, next_id + 2
+        if isinstance(step, TimedKill):
+            delta = max(0, step.at - cursor)
+            cursor = max(cursor, step.at)
+            nodes.append(fb.node(
+                trigger_id,
+                fb.when(fb.TIMER, fb.crash(fb.group("G1", step.target)),
+                        fb.goto(ack_id)),
+                timers=[fb.timer(delta)],
+            ))
+        elif isinstance(step, RekillRace):
+            nodes.append(fb.node(
+                trigger_id,
+                fb.when(fb.on_msg("waveok"),
+                        fb.crash(fb.group("G1", step.target)),
+                        fb.goto(ack_id)),
+            ))
+        elif isinstance(step, KillReporter):
+            nodes.append(fb.node(
+                trigger_id,
+                fb.when(fb.on_msg("waveok"), fb.crash(fb.SENDER),
+                        fb.goto(ack_id)),
+            ))
+        else:  # pragma: no cover - plan construction precludes this
+            raise TypeError(f"unknown plan step {step!r}")
+        nodes.append(fb.node(
+            ack_id,
+            fb.when(fb.on_msg("ok"), fb.goto(after_id)),
+            fb.when(fb.on_msg("no"), fb.goto(after_id)),
+        ))
+        next_id = after_id
+    nodes.append(fb.node(next_id))       # terminal: injection done
+    return fb.daemon(MASTER, *nodes)
+
+
+def render_plan(plan: FaultPlan) -> str:
+    """Plan → canonical FAIL source (master + node daemon)."""
+    return fb.render(fb.program(_master_daemon(plan), _node_daemon()))
+
+
+# ---------------------------------------------------------------------------
+# generator families
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GeneratorContext:
+    """Shared envelope every family draws inside."""
+
+    n_machines: int
+    #: machines that actually host MPI ranks (``n_procs``); targets are
+    #: biased here — a kill on an idle spare is a no-op fault.  0 means
+    #: "all machines are fair game".
+    n_busy: int = 0
+    #: absolute-time window for timed kills (integer seconds)
+    window: Tuple[int, int] = (10, 80)
+    #: most kills any one scenario may plan
+    max_faults: int = 4
+    #: CM-neighborhood stride (``n_channel_memories`` of the v1 config)
+    cm_stride: int = 2
+
+    def pick_time(self, rng: random.Random) -> int:
+        return rng.randint(self.window[0], self.window[1])
+
+    def pick_target(self, rng: random.Random) -> int:
+        busy = self.n_busy or self.n_machines
+        if busy < self.n_machines and rng.random() < 0.125:
+            return rng.randrange(self.n_machines)   # occasional spare:
+            # exercises the negative-ack path without wasting the trial
+        return rng.randrange(busy)
+
+
+def _gen_random_schedule(rng, ctx) -> Tuple[FaultPlan, str]:
+    k = rng.randint(2, ctx.max_faults)
+    times = sorted(ctx.pick_time(rng) for _ in range(k))
+    plan = tuple(TimedKill(at=t, target=ctx.pick_target(rng))
+                 for t in times)
+    return plan, f"{k} kills at random times"
+
+
+def _gen_burst(rng, ctx) -> Tuple[FaultPlan, str]:
+    k = rng.randint(2, ctx.max_faults)
+    at = ctx.pick_time(rng)
+    pool = range(ctx.n_busy or ctx.n_machines)
+    victims = rng.sample(pool, min(k, len(pool)))
+    plan = tuple(TimedKill(at=at, target=v) for v in victims)
+    return plan, f"burst of {len(victims)} simultaneous kills at t={at}"
+
+
+def _gen_targeted(rng, ctx) -> Tuple[FaultPlan, str]:
+    k = rng.randint(2, ctx.max_faults)
+    start = ctx.pick_time(rng)
+    period = rng.randint(15, 40)
+    if rng.random() < 0.5:
+        targets = [0] * k                  # always rank 0's machine
+        label = "rank 0"
+    else:
+        # machines of the ranks homed on CM 0: rank % stride == 0
+        pool = list(range(0, ctx.n_busy or ctx.n_machines,
+                          max(1, ctx.cm_stride)))
+        targets = [pool[i % len(pool)] for i in range(k)]
+        label = "CM-0 neighborhood"
+    plan = tuple(TimedKill(at=start + i * period, target=t)
+                 for i, t in enumerate(targets))
+    return plan, f"{k} correlated kills on {label} every {period}s"
+
+
+def _gen_rekill_race(rng, ctx) -> Tuple[FaultPlan, str]:
+    first = ctx.pick_target(rng)
+    plan: List[Step] = [TimedKill(at=ctx.pick_time(rng), target=first)]
+    for _ in range(rng.randint(1, max(1, ctx.max_faults - 1))):
+        plan.append(RekillRace(
+            target=first if rng.random() < 0.5 else ctx.pick_target(rng)))
+    return tuple(plan), f"kill then re-kill on recovery ({len(plan)} steps)"
+
+
+def _gen_fault_during_recovery(rng, ctx) -> Tuple[FaultPlan, str]:
+    plan: List[Step] = [TimedKill(at=ctx.pick_time(rng),
+                                  target=ctx.pick_target(rng))]
+    for _ in range(rng.randint(1, max(1, ctx.max_faults - 1))):
+        plan.append(KillReporter())
+    return tuple(plan), f"kill the recovering machine ({len(plan)} steps)"
+
+
+#: family name -> (rng, ctx) -> (plan, description); sorted-name order
+#: is the canonical iteration order everywhere in the subsystem
+FAMILIES: Dict[str, Callable] = {
+    "burst": _gen_burst,
+    "fault_during_recovery": _gen_fault_during_recovery,
+    "random_schedule": _gen_random_schedule,
+    "rekill_race": _gen_rekill_race,
+    "targeted": _gen_targeted,
+}
+
+
+@dataclass(frozen=True)
+class GeneratedScenario:
+    """One generated adversary, ready to hand to a :class:`TrialSetup`."""
+
+    family: str
+    index: int
+    seed: int                    # generator stream seed
+    plan: FaultPlan
+    n_machines: int
+    source: str                  # rendered FAIL text
+    description: str
+
+    @property
+    def scenario_id(self) -> str:
+        return f"{self.family}[{self.index}]"
+
+    def meta(self) -> Dict[str, object]:
+        """Provenance for ``TrialSetup.scenario_meta`` (cache keying)."""
+        return {
+            "family": self.family,
+            "index": self.index,
+            "gen_seed": self.seed,
+            "plan": repr(self.plan),
+            "digest": plan_digest(self.plan, self.n_machines),
+        }
+
+
+def generate(family: str, index: int, seed: int,
+             ctx: GeneratorContext) -> GeneratedScenario:
+    """Deterministically generate the ``index``-th scenario of a family.
+
+    The family's random stream is seeded from ``(seed, family, index)``
+    only — string seeding, hash-stable across processes — so a campaign
+    seed pins every scenario byte-for-byte.
+    """
+    fn = FAMILIES.get(family)
+    if fn is None:
+        raise ValueError(f"unknown generator family {family!r}; "
+                         f"known: {sorted(FAMILIES)}")
+    rng = random.Random(f"explore-gen:{seed}:{family}:{index}")
+    plan, description = fn(rng, ctx)
+    return GeneratedScenario(
+        family=family, index=index, seed=seed, plan=plan,
+        n_machines=ctx.n_machines, source=render_plan(plan),
+        description=description)
+
+
+def generate_suite(families: Sequence[str], per_family: int, seed: int,
+                   ctx: GeneratorContext) -> List[GeneratedScenario]:
+    """``per_family`` scenarios for each family, in canonical order."""
+    return [generate(family, i, seed, ctx)
+            for family in sorted(families)
+            for i in range(per_family)]

@@ -1,0 +1,184 @@
+"""Recovery-correctness oracles.
+
+A fault-injection campaign is only as good as its notion of "survived":
+the paper separates terminated / non-terminating / buggy runs by trace
+analysis, and the oracles here sharpen that into per-trial correctness
+checks against a *golden* (fault-free) run of the same configuration:
+
+``no_deadlock``
+    The run must not freeze: a ``BUGGY`` classification — protocol
+    activity ceased long before the simulated-time budget — is the
+    failure signature of every dispatcher/recovery bug in the paper.
+``golden_result``
+    A run that terminates must produce the workload's verification
+    checksum *bit-identical* to the golden run's (and must have
+    verified at all).  Catches lost/duplicated messages that slip
+    through recovery.
+``progress``
+    Generated fault plans are *finite*: after the last injection a
+    correct protocol must recover and the workload must finish inside
+    the simulated-time budget (the trial timeout, sized at several
+    golden durations).  A non-terminating run therefore fails — unless
+    the deployed protocol *documents* that it cannot survive the
+    plan's simultaneity (``ProtocolSpec.simultaneous_tolerance``, e.g.
+    V2's volatile sender logs under concurrent failures), in which
+    case the stall is a faithful limitation, not a bug.
+``protocol_invariants``
+    The per-protocol invariant hook (V1 CM log order, V2 event-log
+    completeness, Vcl committed-wave consistency) reported no
+    violations — see :func:`repro.mpichv.protocols.check_invariants`.
+
+Oracles read only the :class:`~repro.mpichv.runtime.RunResult` wire
+form (counters, signature, violations), so they work identically on
+live, pooled and cache-loaded results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.classify import Outcome
+from repro.explore.generators import (FaultPlan, KillReporter, RekillRace,
+                                      TimedKill)
+from repro.mpichv import protocols
+from repro.mpichv.runtime import RunResult
+
+
+def simultaneous_batch(plan: FaultPlan) -> int:
+    """Largest group of timed kills sharing one injection instant."""
+    counts: dict = {}
+    for step in plan:
+        if isinstance(step, TimedKill):
+            counts[step.at] = counts.get(step.at, 0) + 1
+    return max(counts.values(), default=0)
+
+
+def max_concurrent_failures(plan: FaultPlan) -> int:
+    """Most failures a plan can have in flight at one instant.
+
+    Beyond same-instant batches, the *reactive* steps overlap by
+    construction: the recovery report (``waveok``) fires at the
+    victim's relaunch, before its replay completes, so a reactive kill
+    of a *different* machine lands while that recovery is still in
+    flight — two concurrent failures.  Re-killing the recovering
+    machine itself keeps the failure count at one.
+    """
+    concurrent = simultaneous_batch(plan)
+    last_victim: Optional[int] = None
+    for step in plan:
+        if isinstance(step, TimedKill):
+            last_victim = step.target
+        elif isinstance(step, RekillRace):
+            if step.target != last_victim:
+                concurrent = max(concurrent, 2)
+            last_victim = step.target
+        elif isinstance(step, KillReporter):
+            pass                  # kills the recovering machine itself
+    return concurrent
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """One oracle's verdict on one trial."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetics
+        flag = "ok" if self.passed else "FAIL"
+        return f"{self.name}: {flag} ({self.detail})"
+
+
+@dataclass(frozen=True)
+class OracleContext:
+    """Everything the oracles may consult about one trial."""
+
+    result: RunResult
+    golden: Optional[RunResult]
+    #: the generated fault plan (None when replaying a bare .fail file)
+    plan: Optional[FaultPlan] = None
+    #: deployed protocol name (for documented-limitation lookups)
+    protocol: Optional[str] = None
+
+
+def _no_deadlock(ctx: OracleContext) -> OracleReport:
+    result = ctx.result
+    if result.outcome is Outcome.BUGGY:
+        return OracleReport("no_deadlock", False, result.verdict.reason)
+    return OracleReport("no_deadlock", True, str(result.outcome))
+
+
+def _golden_result(ctx: OracleContext) -> OracleReport:
+    result, golden = ctx.result, ctx.golden
+    name = "golden_result"
+    if golden is None or golden.outcome is not Outcome.TERMINATED \
+            or golden.app_signature is None:
+        return OracleReport(name, False,
+                            "no valid golden run for this configuration")
+    if result.outcome is not Outcome.TERMINATED:
+        return OracleReport(name, True, "n/a (run did not terminate)")
+    if result.app_signature is None:
+        return OracleReport(name, False,
+                            "terminated without workload verification")
+    if result.app_signature != golden.app_signature:
+        return OracleReport(
+            name, False, f"checksum {result.app_signature} != golden "
+                         f"{golden.app_signature}")
+    return OracleReport(name, True, f"checksum {result.app_signature}")
+
+
+def _progress(ctx: OracleContext) -> OracleReport:
+    result = ctx.result
+    name = "progress"
+    if result.outcome is not Outcome.NON_TERMINATING:
+        return OracleReport(name, True, str(result.outcome))
+    if ctx.plan is not None and ctx.protocol is not None:
+        tolerance = protocols.get_spec(ctx.protocol).simultaneous_tolerance
+        concurrent = max_concurrent_failures(ctx.plan)
+        if tolerance is not None and concurrent > tolerance:
+            return OracleReport(
+                name, True,
+                f"excused: up to {concurrent} concurrent faults exceed "
+                f"the protocol's documented tolerance of {tolerance}")
+    return OracleReport(
+        name, False,
+        "finite fault plan but the run never finished "
+        f"({result.failures_detected} failures detected, last activity "
+        f"t={result.verdict.last_activity:.1f})")
+
+
+def _protocol_invariants(ctx: OracleContext) -> OracleReport:
+    result = ctx.result
+    name = "protocol_invariants"
+    if result.invariant_violations:
+        return OracleReport(name, False,
+                            "; ".join(result.invariant_violations))
+    return OracleReport(name, True, "all protocol invariants held")
+
+
+#: evaluation order (also the report order in verdict tables)
+ORACLES = (_no_deadlock, _golden_result, _progress, _protocol_invariants)
+
+#: oracle names, in evaluation order
+ORACLE_NAMES = ("no_deadlock", "golden_result", "progress",
+                "protocol_invariants")
+
+
+def run_oracles(result: RunResult, golden: Optional[RunResult],
+                plan: Optional[FaultPlan] = None,
+                protocol: Optional[str] = None) -> List[OracleReport]:
+    """Evaluate every oracle against one trial.
+
+    ``plan`` and ``protocol`` feed the documented-limitation excuse of
+    the ``progress`` oracle; without them (replaying a bare ``.fail``
+    file) non-termination is judged strictly.
+    """
+    ctx = OracleContext(result=result, golden=golden, plan=plan,
+                        protocol=protocol)
+    return [oracle(ctx) for oracle in ORACLES]
+
+
+def failed_names(reports: List[OracleReport]) -> List[str]:
+    return [r.name for r in reports if not r.passed]

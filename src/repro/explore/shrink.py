@@ -1,0 +1,163 @@
+"""Scenario minimization: delta-debug a failing fault plan.
+
+When an oracle flags a trial, the generated schedule is rarely minimal
+— most of its faults are noise around the one interaction that breaks
+recovery.  :func:`shrink` reduces the plan while the failure persists:
+
+1. **drop faults** — greedy one-at-a-time removal, rescanning after
+   every success (ddmin's 1-minimality for the plan sizes generators
+   emit);
+2. **round timestamps** — timed kills move to the coarsest grid (60,
+   30, 10 s) that keeps failing, making the reproducer human-readable;
+3. **canonicalize targets** — retarget each kill to machine 0 when the
+   failure does not depend on the victim;
+4. **reduce machine count** — shrink the cluster to the minimum the
+   configuration allows.
+
+Every candidate is one real trial through the caller's ``still_fails``
+predicate, which routes through the campaign's :class:`TrialRunner` —
+so re-shrinking a known failure is almost entirely cache hits.  The
+search is deterministic: candidate order is a pure function of the
+input plan, so the same failure always shrinks to the same reproducer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.explore.generators import FaultPlan, TimedKill, render_plan
+
+#: still_fails(plan, n_machines) -> True when the reduced scenario
+#: still trips an oracle
+FailsPredicate = Callable[[FaultPlan, int], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one minimization."""
+
+    plan: FaultPlan
+    n_machines: int
+    trials_used: int
+    #: human log of accepted reductions, in application order
+    reductions: List[str]
+
+    @property
+    def source(self) -> str:
+        """The minimal scenario as canonical FAIL source."""
+        return render_plan(self.plan)
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def take(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def _try(candidate: FaultPlan, n_machines: int, budget: _Budget,
+         still_fails: FailsPredicate) -> bool:
+    return budget.take() and still_fails(candidate, n_machines)
+
+
+def _drop_steps(plan: FaultPlan, n_machines: int, budget: _Budget,
+                still_fails: FailsPredicate,
+                log: List[str]) -> FaultPlan:
+    changed = True
+    while changed and len(plan) > 1:
+        changed = False
+        for i in reversed(range(len(plan))):
+            candidate = plan[:i] + plan[i + 1:]
+            if _try(candidate, n_machines, budget, still_fails):
+                log.append(f"dropped step {i} ({plan[i]!r})")
+                plan = candidate
+                changed = True
+                break               # rescan the shorter plan
+        if budget.used >= budget.limit:
+            break
+    return plan
+
+
+def _round_times(plan: FaultPlan, n_machines: int, budget: _Budget,
+                 still_fails: FailsPredicate,
+                 log: List[str]) -> FaultPlan:
+    for grid in (60, 30, 10):
+        candidate = tuple(
+            dataclasses.replace(s, at=max(grid, round(s.at / grid) * grid))
+            if isinstance(s, TimedKill) else s
+            for s in plan)
+        if candidate == plan:
+            continue
+        if _try(candidate, n_machines, budget, still_fails):
+            log.append(f"rounded kill times to the {grid}s grid")
+            plan = candidate
+            break                   # coarsest surviving grid wins
+    return plan
+
+
+def _canonicalize_targets(plan: FaultPlan, n_machines: int, budget: _Budget,
+                          still_fails: FailsPredicate,
+                          log: List[str]) -> FaultPlan:
+    for i, step in enumerate(plan):
+        target = getattr(step, "target", None)
+        if not target:              # None or already 0
+            continue
+        candidate = (plan[:i] + (dataclasses.replace(step, target=0),)
+                     + plan[i + 1:])
+        if _try(candidate, n_machines, budget, still_fails):
+            log.append(f"retargeted step {i} to machine 0")
+            plan = candidate
+    return plan
+
+
+def _reduce_machines(plan: FaultPlan, n_machines: int, min_machines: int,
+                     budget: _Budget, still_fails: FailsPredicate,
+                     log: List[str]) -> int:
+    max_target = max((getattr(s, "target", 0) for s in plan), default=0)
+    floor = max(min_machines, max_target + 1)
+    while n_machines > floor:
+        candidate = max(floor, (n_machines + floor) // 2)
+        if candidate == n_machines:
+            break
+        if _try(plan, candidate, budget, still_fails):
+            log.append(f"reduced machines {n_machines} -> {candidate}")
+            n_machines = candidate
+        else:
+            break                   # binary descent stops at first pass
+    return n_machines
+
+
+def shrink(plan: FaultPlan, n_machines: int, *,
+           still_fails: FailsPredicate,
+           min_machines: int = 1,
+           budget: int = 48) -> ShrinkResult:
+    """Minimize ``(plan, n_machines)`` under ``still_fails``.
+
+    ``budget`` bounds the number of candidate trials; the incoming
+    plan is assumed failing (it is never re-validated here).
+    """
+    tracker = _Budget(budget)
+    log: List[str] = []
+    plan = _drop_steps(plan, n_machines, tracker, still_fails, log)
+    plan = _round_times(plan, n_machines, tracker, still_fails, log)
+    plan = _canonicalize_targets(plan, n_machines, tracker, still_fails, log)
+    n_machines = _reduce_machines(plan, n_machines, min_machines, tracker,
+                                  still_fails, log)
+    # dropping/retargeting may have unlocked further drops
+    plan = _drop_steps(plan, n_machines, tracker, still_fails, log)
+    return ShrinkResult(plan=plan, n_machines=n_machines,
+                        trials_used=tracker.used, reductions=log)
+
+
+def describe(result: ShrinkResult, original: FaultPlan) -> str:
+    """One-line summary for campaign output."""
+    return (f"{len(original)} steps -> {len(result.plan)} steps, "
+            f"{result.n_machines} machines, {result.trials_used} trials, "
+            f"{len(result.reductions)} reductions")

@@ -59,7 +59,10 @@ class FailDaemon(MachineContext):
                  params: dict, node=None):
         self.platform = platform
         self.engine = platform.engine
-        self.rng = platform.engine.random
+        # Scenario semantics (FAIL_RANDOM, destination indices) draw
+        # from the deployment's dedicated stream; intrusion-cost timing
+        # stays on the engine stream (see _handling_delay).
+        self.rng = getattr(platform, "rng", platform.engine.random)
         self.instance = instance
         self.node = node
         self.debugger = Debugger()
@@ -108,9 +111,10 @@ class FailDaemon(MachineContext):
     # ------------------------------------------------------------------
     def _handling_delay(self, event: Tuple) -> float:
         timing = self.platform.timing
+        rng = self.engine.random      # timing noise, not scenario logic
         if event[0] == "msg":
-            return timing.uniform(self.rng, timing.fail_order_handling)
-        return timing.uniform(self.rng, timing.fail_event_handling)
+            return timing.uniform(rng, timing.fail_order_handling)
+        return timing.uniform(rng, timing.fail_event_handling)
 
     def _enqueue(self, event: Tuple) -> None:
         self._queue.append(event)

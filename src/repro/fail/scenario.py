@@ -16,6 +16,7 @@ cluster size).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -82,6 +83,13 @@ class ScenarioDeployment:
         self.scenario = scenario
         self.engine = runtime.engine
         self.timing = runtime.config.timing
+        # The scenario's own random stream: every FAIL_RANDOM draw of
+        # every daemon comes from here, seeded from the trial seed, so
+        # one (scenario, seed) pair always replays the same fault
+        # schedule — regardless of how the protocol or workload under
+        # test consumes the engine's shared RNG.  (String seeding is
+        # hash-stable across processes.)
+        self.rng = random.Random(f"fail-mpi:{getattr(self.engine, 'seed', 0)}")
         self.bus = FailBus(self.engine, latency=self.timing.fail_bus_latency)
         self.app_prefix = app_prefix
         self.daemons: Dict[str, FailDaemon] = {}

@@ -114,7 +114,11 @@ def channel_memory_main(proc: UnixProcess, config, index: int):
             elif isinstance(msg, wire.CMAttach):
                 attached_rank = msg.rank
                 attached[msg.rank] = sock
-                entries = state.replay_after(msg.rank, msg.after)
+                # cm_replay=False is the deliberately-broken knob used
+                # by the exploration oracles: the log is kept but never
+                # redelivered, so a recovering rank starves.
+                entries = (state.replay_after(msg.rank, msg.after)
+                           if config.cm_replay else [])
                 engine.log("cm_attach", rank=msg.rank, cm=index,
                            after=msg.after, replayed=len(entries))
                 for entry in entries:

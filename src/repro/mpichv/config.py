@@ -92,6 +92,11 @@ class VclConfig:
     #: number of Channel Memory services (v1 protocol only); a rank's
     #: home CM is ``rank % n_channel_memories``
     n_channel_memories: int = 2
+    #: v1 only: replay the Channel Memory log to a re-attaching rank.
+    #: Disabling this *breaks the protocol on purpose* — it is the
+    #: reference "planted bug" the exploration oracles must catch
+    #: (``repro.explore``); never disable it for real experiments.
+    cm_replay: bool = True
     timing: TimingModel = field(default_factory=TimingModel)
 
     # service ports

@@ -79,6 +79,19 @@ class ProtocolSpec:
     #: service nodes beyond the baseline (dispatcher + svc1 + servers)
     extra_service_nodes: Callable[[Any], int] = field(
         default=lambda config: 0)
+    #: post-run correctness invariants: ``runtime -> [violation, ...]``.
+    #: Called by :meth:`repro.mpichv.runtime.VclRuntime.run` after the
+    #: simulation finishes (service state objects outlive their
+    #: processes); the exploration oracles (:mod:`repro.explore`)
+    #: treat any returned string as a protocol bug.
+    invariants: Optional[Callable[[Any], List[str]]] = None
+    #: how many *simultaneous* failures the protocol promises to
+    #: survive; ``None`` means no documented limit.  V2's volatile
+    #: sender logs make concurrent failures beyond one a known, faithful
+    #: stall mode (module docstring of :mod:`repro.mpichv.v2daemon`) —
+    #: the exploration oracles excuse a non-terminating run only when
+    #: the fault plan exceeded this.
+    simultaneous_tolerance: Optional[int] = None
 
     def daemon_main(self, proc, config, rank: int, epoch: int,
                     incarnation: int, app_factory):
@@ -132,6 +145,21 @@ def extra_service_nodes(config) -> int:
     return get_spec(config.protocol).extra_service_nodes(config)
 
 
+def check_invariants(runtime) -> List[str]:
+    """Run the deployed protocol's invariant hook against ``runtime``.
+
+    Returns the (possibly empty) list of violations; protocols without
+    a hook — and non-fault-tolerant deployments, which run none of the
+    protocol services — report none.
+    """
+    if not runtime.config.fault_tolerant:
+        return []
+    spec = get_spec(runtime.config.protocol)
+    if spec.invariants is None:
+        return []
+    return list(spec.invariants(runtime))
+
+
 # ---------------------------------------------------------------------------
 # built-in protocols
 # ---------------------------------------------------------------------------
@@ -172,6 +200,86 @@ def _v1_plan(config) -> List[ServiceSpec]:
     ]
 
 
+def _dense_suffix_violations(label: str, histories) -> List[str]:
+    """Positions of a pessimistic log must stay strictly consecutive.
+
+    Both stable logs (V2 delivery events, V1 CM entries) allocate
+    strictly increasing positions and prune only prefixes, so whatever
+    survives must be a dense run — any gap means a logged event was
+    lost, i.e. the "logged before delivered" guarantee broke.
+    """
+    out: List[str] = []
+    for rank, positions in histories:
+        for prev, cur in zip(positions, positions[1:]):
+            if cur != prev + 1:
+                out.append(f"{label}: rank {rank} log gap "
+                           f"(pos {prev} -> {cur})")
+                break
+    return out
+
+
+def _vcl_invariants(runtime) -> List[str]:
+    """Coordinated-checkpoint consistency (Chandy-Lamport)."""
+    out: List[str] = []
+    sched = runtime.scheduler_state
+    disp = runtime.dispatcher_state
+    if sched is not None:
+        if sched.waves_committed + sched.waves_aborted > sched.waves_started:
+            out.append(
+                f"vcl: {sched.waves_committed} committed + "
+                f"{sched.waves_aborted} aborted waves exceed "
+                f"{sched.waves_started} started")
+        if sched.committed_wave is not None \
+                and sched.committed_wave > sched.wave_id:
+            out.append(f"vcl: committed wave {sched.committed_wave} "
+                       f"was never started (latest {sched.wave_id})")
+    if disp is not None and disp.restore_wave is not None:
+        committed = sched.committed_wave if sched is not None else None
+        if committed is None or disp.restore_wave > committed:
+            out.append(
+                f"vcl: rollback restored wave {disp.restore_wave} which "
+                f"the scheduler never committed (committed={committed})")
+    return out
+
+
+def _v2_invariants(runtime) -> List[str]:
+    """Sender-based logging: the stable delivery log must be complete."""
+    proc = runtime.eventlog_proc
+    state = proc.tags.get("evlog_state") if proc is not None else None
+    if state is None:
+        return ["v2: event logger never deployed"]
+    return _dense_suffix_violations(
+        "v2 event log",
+        [(rank, [pos for pos, _src, _seq in history])
+         for rank, history in sorted(state.events.items())])
+
+
+def _v1_invariants(runtime) -> List[str]:
+    """Channel Memories: total order per receiver, FIFO per channel."""
+    out: List[str] = []
+    states = [proc.tags.get("cm_state") for proc in runtime.cm_procs]
+    if not states or any(s is None for s in states):
+        return ["v1: channel memories never deployed"]
+    for cm_index, state in enumerate(states):
+        out.extend(_dense_suffix_violations(
+            f"v1 CM {cm_index}",
+            [(dst, [pos for pos, _src, _seq, _msg in entries])
+             for dst, entries in sorted(state.logs.items())]))
+        for dst, entries in sorted(state.logs.items()):
+            seen: dict = {}
+            for pos, src, seq, _msg in entries:
+                if seq <= seen.get(src, 0):
+                    out.append(f"v1 CM {cm_index}: channel {src}->{dst} "
+                               f"seq {seq} out of order at pos {pos}")
+                    break
+                seen[src] = seq
+            last = state.next_pos.get(dst, 0)
+            if entries and entries[-1][0] > last:
+                out.append(f"v1 CM {cm_index}: receiver {dst} position "
+                           f"counter {last} behind log tail {entries[-1][0]}")
+    return out
+
+
 def _require_non_blocking(config) -> None:
     if config.blocking:
         raise ValueError("blocking applies to the vcl protocol only")
@@ -190,6 +298,7 @@ register(ProtocolSpec(
     single_rank_restart=False,
     description=("coordinated non-blocking Chandy-Lamport checkpointing "
                  "(the paper's protocol)"),
+    invariants=_vcl_invariants,
 ))
 
 register(ProtocolSpec(
@@ -200,6 +309,8 @@ register(ProtocolSpec(
     description=("pessimistic sender-based message logging with "
                  "uncoordinated checkpoints [BCH+03]"),
     validate=_require_non_blocking,
+    invariants=_v2_invariants,
+    simultaneous_tolerance=1,
 ))
 
 register(ProtocolSpec(
@@ -211,4 +322,5 @@ register(ProtocolSpec(
                  "(MPICH-V1)"),
     validate=_validate_v1,
     extra_service_nodes=lambda config: config.n_channel_memories,
+    invariants=_v1_invariants,
 ))

@@ -10,7 +10,7 @@ compute machines).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.analysis.classify import Outcome, RunVerdict, classify_run
@@ -34,6 +34,13 @@ class RunResult:
     failures_detected: int
     waves_committed: int
     events_processed: int
+    #: workload verification checksum (the ``verify_ok`` record), or
+    #: None when the run never verified — the exploration oracles
+    #: compare it bit-for-bit against a fault-free golden run
+    app_signature: Optional[int] = None
+    #: violations reported by the protocol's invariant hook
+    #: (:func:`repro.mpichv.protocols.check_invariants`)
+    invariant_violations: List[str] = field(default_factory=list)
 
     @property
     def outcome(self) -> Outcome:
@@ -134,6 +141,15 @@ class VclRuntime:
         # cleanup runs afterwards.
         self.trace.subscribe(
             lambda rec: self.engine.stop() if rec.kind == "app_done" else None)
+        # Capture the workload's verification checksum live: counters
+        # survive keep_trace=False, record fields do not.
+        signature: List[Any] = []
+
+        def _capture(rec):
+            if rec.kind == "verify_ok":
+                signature.append(rec.fields.get("checksum"))
+
+        self.trace.subscribe(_capture)
         self.engine.run(until=timeout)
 
         verdict = classify_run(self.trace, timeout)
@@ -148,4 +164,6 @@ class VclRuntime:
             failures_detected=disp.failures_detected if disp else 0,
             waves_committed=sched.waves_committed if sched else 0,
             events_processed=self.engine.events_processed,
+            app_signature=signature[0] if signature else None,
+            invariant_violations=protocols.check_invariants(self),
         )

@@ -71,10 +71,22 @@ class V2Daemon(MpichDaemon):
         self.held: deque = deque()          # (pos, src, src_seq, AppMessage)
         self.next_pos_to_log = None         # filled from state at start
 
-        #: replay mode: delivery events to reproduce, staged messages
-        self.replaying = False
+        #: replay mode: delivery events to reproduce, staged messages.
+        #: A restarted incarnation starts *already* in replay mode:
+        #: peers re-send their logged messages the moment the mesh
+        #: handshake completes, which races the event-log fetch in
+        #: :meth:`after_mesh` — delivering those early arrivals through
+        #: the normal path can skip sequence numbers (``DELIVERED[src] =
+        #: seq`` jumps the gap) and the dedup then drops the skipped
+        #: messages forever, deadlocking the application.  Staging until
+        #: :meth:`begin_replay` preserves the logged delivery order.
+        self.replaying = self.restarted
         self.replay_events: deque = deque()            # (src, src_seq)
         self.staging: Dict[Tuple[int, int], AppMessage] = {}
+        #: replay mode may only end once the delivery history has been
+        #: fetched (begin_replay ran) — a resend arriving earlier must
+        #: stay staged, not trick _drain_replay into an early exit
+        self.history_fetched = not self.restarted
 
         self.evlog_sock = None
 
@@ -134,8 +146,9 @@ class V2Daemon(MpichDaemon):
     # ------------------------------------------------------------------
     def begin_replay(self, events: List[Tuple[int, int]]) -> None:
         self.replay_events = deque(events)
-        self.replaying = bool(self.replay_events)
-        if self.replaying:
+        self.replaying = True
+        self.history_fetched = True
+        if self.replay_events:
             self.engine.log("v2_replay_start", rank=self.rank,
                             events=len(self.replay_events))
         self._drain_replay()
@@ -149,8 +162,19 @@ class V2Daemon(MpichDaemon):
             self.replay_events.popleft()
             # already on the event log: deliver without re-logging
             self._deliver_now(src, seq, msg)
-        if self.replaying and not self.replay_events:
+        if self.replaying and not self.replay_events and self.history_fetched:
+            # replay finished (or the fetched history was empty); flush
+            # anything that arrived while staged.  history_fetched keeps
+            # a pre-fetch resend from ending replay mode early — it must
+            # wait for the event-log response it might belong to.
             self.replaying = False
+            # Replayed deliveries advanced POS without logging (their
+            # events are already stable); resume logging *after* them,
+            # or fresh events would collide with existing positions and
+            # be dropped by the logger's idempotence check — corrupting
+            # the history the next restore of this rank replays.
+            self.next_pos_to_log = max(self.next_pos_to_log,
+                                       self.app_state[POS])
             self.engine.log("v2_replay_done", rank=self.rank)
             # post-replay traffic processes through the normal
             # pessimistic path, in (src, seq) order per source

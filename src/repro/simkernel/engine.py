@@ -110,20 +110,38 @@ class Engine:
         Returns the final simulated time.  If ``until`` is hit with work
         still pending, the clock is advanced to exactly ``until`` (so a
         subsequent ``run`` continues cleanly).
+
+        The loop body is the simulator's hottest path (every message,
+        timer and context switch of a trial passes through it), so the
+        heap pop and dispatch are inlined here with hoisted locals
+        rather than delegating to :meth:`step`; semantics are identical
+        (``step`` remains the single-step API).
         """
         self._stopped = False
+        heap = self._heap
+        pop = heapq.heappop
+        event_cls = Event
+        limit = float("inf") if until is None else until
         processed = 0
-        while self._heap and not self._stopped:
-            if until is not None and self._heap[0][0] > until:
-                self.now = until
-                if raise_on_timeout:
-                    raise SimTimeoutError(f"simulation exceeded t={until}")
-                return self.now
-            self.step()
-            processed += 1
-            if max_events is not None and processed >= max_events:
-                break
-        if until is not None and not self._heap and self.now < until:
+        try:
+            while heap and not self._stopped:
+                if heap[0][0] > limit:
+                    self.now = until
+                    if raise_on_timeout:
+                        raise SimTimeoutError(f"simulation exceeded t={until}")
+                    return self.now
+                when, _prio, _seq, payload = pop(heap)
+                self.now = when
+                processed += 1
+                if isinstance(payload, event_cls):
+                    payload._process()
+                else:
+                    payload()
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self.events_processed += processed
+        if until is not None and not heap and self.now < until:
             self.now = until
         return self.now
 

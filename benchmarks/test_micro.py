@@ -112,6 +112,47 @@ def test_network_message_relay(benchmark):
 
 
 @pytest.mark.benchmark(group="micro")
+@pytest.mark.parametrize("topology", ["uniform", "star", "twotier"])
+def test_network_delivery_throughput(benchmark, topology):
+    """Socket send → delivery rate per fabric model.
+
+    The ``uniform`` row is the perf guard for the netmodel refactor:
+    its hot path is structurally identical to the seed arithmetic (no
+    per-message topology lookup — asserted by
+    tests/test_netmodel.py::test_uniform_hot_path_never_consults_the_fabric),
+    so its throughput tracks the historical baseline; the ``star`` /
+    ``twotier`` rows record the cost of per-link accounting."""
+    N = 2000
+
+    def run():
+        eng = Engine(seed=0)
+        clu = Cluster(eng, 2, topology=topology)
+        done = []
+
+        def server(proc):
+            ls = proc.node.listen(5000, owner=proc)
+            sock = yield ls.accept()
+            count = 0
+            while count < N:
+                yield sock.recv()
+                count += 1
+            done.append(count)
+
+        def client(proc):
+            sock = yield proc.node.connect(clu.node(0).addr(5000), owner=proc)
+            for i in range(N):
+                sock.send(i, size=1024)
+            yield eng.timeout(10.0)
+
+        clu.node(0).spawn("server", server)
+        clu.node(1).spawn("client", client)
+        eng.run(until=120.0)
+        return done[0]
+
+    assert benchmark(run) == N
+
+
+@pytest.mark.benchmark(group="micro")
 def test_fail_parse_throughput(benchmark):
     source = (scenarios.FIG7A_MASTER + scenarios.FIG8B_NODE_DAEMON
               + scenarios.FIG10B_NODE_DAEMON)

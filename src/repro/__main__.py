@@ -22,6 +22,8 @@ COMMANDS = {
                           "vcl vs v2 vs v1 under identical scenarios"),
     "explore": ("repro.explore.campaign",
                 "generated fault scenarios + oracles + shrinking"),
+    "net-sensitivity": ("repro.experiments.net_sensitivity",
+                        "protocol x topology x oversubscription sweep"),
 }
 
 #: legacy spellings kept working

@@ -25,20 +25,26 @@ class Cluster:
     def __init__(self, engine: Engine, n_nodes: int,
                  latency: Optional[float] = None,
                  bandwidth: Optional[float] = None,
-                 name_prefix: str = "node"):
+                 name_prefix: str = "node",
+                 topology=None):
         if n_nodes <= 0:
             raise ValueError("cluster needs at least one node")
         self.engine = engine
-        kwargs: Dict[str, float] = {}
+        kwargs: Dict[str, Any] = {}
         if latency is not None:
             kwargs["latency"] = latency
         if bandwidth is not None:
             kwargs["bandwidth"] = bandwidth
+        if topology is not None:
+            kwargs["topology"] = topology
         self.network = Network(engine, **kwargs)
         self.nodes: List[Node] = [
             Node(self, f"{name_prefix}{i}", i) for i in range(n_nodes)
         ]
         self._by_name: Dict[str, Node] = {n.name: n for n in self.nodes}
+        # Node-creation order pins the fabric's host (rack) assignment.
+        for node in self.nodes:
+            self.network.register_host(node.name)
         self._pid_counter = 0
 
     def add_node(self, name: str) -> Node:
@@ -48,6 +54,7 @@ class Cluster:
         node = Node(self, name, len(self.nodes))
         self.nodes.append(node)
         self._by_name[name] = node
+        self.network.register_host(name)
         return node
 
     def next_pid(self) -> int:

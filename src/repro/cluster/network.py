@@ -1,29 +1,48 @@
-"""A TCP-like network model.
+"""A TCP-like network model over a pluggable fabric.
 
 Characteristics modelled (and why):
 
-* **per-connection FIFO** with delivery time
-  ``max(prev_arrival, now + latency + size/bandwidth)`` — messages on a
-  connection never reorder, and large transfers (checkpoint images)
-  take size-proportional time, which drives the paper's Fig. 6
-  observation about 25-node checkpoints being slower;
+* **per-connection FIFO** with delivery time computed by the
+  deployment's fabric model (:mod:`repro.netmodel`).  The default
+  ``uniform`` fabric keeps the historical arithmetic
+  ``max(prev_arrival, now + latency + size/bandwidth)`` bit for bit —
+  messages on a connection never reorder, and large transfers
+  (checkpoint images) take size-proportional time, which drives the
+  paper's Fig. 6 observation about 25-node checkpoints being slower.
+  Non-uniform fabrics (``star``, ``twotier``) additionally queue on
+  shared per-link pipes — uplink contention and core oversubscription;
 * **closure notification** — closing either end (explicitly or because
   the owning process was killed) closes the peer's receive stream after
-  one latency, so a blocked ``recv`` fails with
+  one path latency, so a blocked ``recv`` fails with
   :class:`ConnectionClosed`.  This is exactly the failure-detection
   channel MPICH-V's dispatcher uses ("a failure is assumed after any
   unexpected socket closure");
-* **connection refusal** when nothing listens on the target address.
+* **connection refusal** when nothing listens on the target address;
+* **partitions and link cuts** — :meth:`Network.cut_link`,
+  :meth:`Network.isolate`, :meth:`Network.partition` and
+  :meth:`Network.heal` mutate reachability at runtime.  Packets into a
+  cut vanish; established connections spanning a cut are severed after
+  one path latency (both receive streams fail with
+  :class:`ConnectionClosed`, indistinguishable from peer death — the
+  *false suspicion* adversary); a connection attempt across a cut is
+  refused after the round trip.  Healing restores reachability for
+  new connections but never resurrects severed ones — and a heal that
+  lands before the severance notification does (within one latency)
+  leaves the connection untouched, so partitions can race the failure
+  detector.
 
-No packet loss or partitions: the paper's experiments kill whole tasks,
-never the network, so link failures are out of scope (documented
-substitution).
+The paper's experiments kill whole tasks, never the network; the
+uniform no-partition default reproduces that regime exactly, while the
+fault-injection layer (``partition``/``heal`` FAIL actions) opens the
+partition fault class the paper leaves out.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, NamedTuple, Optional
+from typing import (Any, Dict, FrozenSet, NamedTuple, Optional, Sequence,
+                    Set, Tuple)
 
+from repro.netmodel import (DEFAULT_BANDWIDTH, DEFAULT_LATENCY, build_fabric)
 from repro.simkernel.engine import Engine
 from repro.simkernel.events import Event
 from repro.simkernel.store import Store, StoreClosed
@@ -44,11 +63,9 @@ class ConnectionClosed(Exception):
 
 
 class ConnectionRefused(Exception):
-    """No listener at the target address."""
+    """No listener at the target address (or the path is cut)."""
 
 
-DEFAULT_LATENCY = 1e-4          # 100 us — GigE-ish
-DEFAULT_BANDWIDTH = 100e6       # 100 MB/s effective GigE payload rate
 DEFAULT_MSG_SIZE = 1024         # bytes, when a message has no size hint
 
 
@@ -66,17 +83,142 @@ class Network:
 
     def __init__(self, engine: Engine,
                  latency: float = DEFAULT_LATENCY,
-                 bandwidth: float = DEFAULT_BANDWIDTH):
+                 bandwidth: float = DEFAULT_BANDWIDTH,
+                 topology=None):
         if latency < 0 or bandwidth <= 0:
             raise ValueError("latency must be >=0 and bandwidth >0")
         self.engine = engine
-        self.latency = latency
-        self.bandwidth = bandwidth
+        self.fabric = build_fabric(topology, latency, bandwidth)
+        #: resolved base parameters (a TopologySpec may override the args)
+        self.latency = self.fabric.latency
+        self.bandwidth = self.fabric.bandwidth
         self._listeners: Dict[Address, "ListenSocket"] = {}
         #: monotone id source for connections (stable trace labels)
         self._next_conn_id = 1
         self.bytes_sent = 0
         self.messages_sent = 0
+        #: uniform fabric -> the hot path never consults the fabric
+        self._fast_uniform = self.fabric.is_uniform
+        #: live connection endpoints (for partition severing)
+        self._sockets: Set["Socket"] = set()
+        #: hosts on the isolated side of an accumulated partition
+        self._isolated: Set[str] = set()
+        #: explicitly cut host pairs
+        self._cut_pairs: Set[FrozenSet[str]] = set()
+
+    # -- topology ------------------------------------------------------------
+    def register_host(self, host: str) -> None:
+        """Declare a host to the fabric (rack assignment order)."""
+        self.fabric.register_host(host)
+
+    def _latency_between(self, a: str, b: str) -> float:
+        if self._fast_uniform:
+            return self.latency
+        return self.fabric.latency_between(a, b)
+
+    # -- link state ------------------------------------------------------------
+    @property
+    def partitioned(self) -> bool:
+        """True while any cut is active."""
+        return bool(self._isolated or self._cut_pairs)
+
+    def reachable(self, a: str, b: str) -> bool:
+        """Can hosts ``a`` and ``b`` currently exchange packets?"""
+        if a == b:
+            return True
+        if self._cut_pairs and frozenset((a, b)) in self._cut_pairs:
+            return False
+        if self._isolated and ((a in self._isolated) != (b in self._isolated)):
+            return False
+        return True
+
+    def cut_link(self, host_a: str, host_b: str) -> None:
+        """Cut the path between one host pair."""
+        if host_a == host_b:
+            raise ValueError("cannot cut a host from itself")
+        self._cut_pairs.add(frozenset((host_a, host_b)))
+        self._sever_spanning()
+
+    def isolate(self, *hosts: str) -> None:
+        """Move ``hosts`` onto the isolated side of the partition.
+
+        Isolation accumulates: isolated hosts stay connected to *each
+        other* but lose every host on the majority side — so isolating
+        a CM neighborhood one machine at a time builds one coherent
+        minority partition.
+        """
+        self._isolated.update(hosts)
+        self._sever_spanning()
+
+    def partition(self, groups: Sequence[Sequence[str]]) -> None:
+        """Cut every path between hosts of different ``groups``.
+
+        Hosts absent from every group keep full connectivity.
+        """
+        groups = [list(g) for g in groups]
+        for i, ga in enumerate(groups):
+            for gb in groups[i + 1:]:
+                for a in ga:
+                    for b in gb:
+                        if a != b:
+                            self._cut_pairs.add(frozenset((a, b)))
+        self._sever_spanning()
+
+    def heal(self) -> None:
+        """Restore full reachability.
+
+        Pending severance notifications re-check reachability when they
+        fire, so a heal within one path latency of the cut wins the
+        race and the connection survives; already-severed connections
+        stay dead (a healed partition does not resurrect them).
+        """
+        self._isolated.clear()
+        self._cut_pairs.clear()
+
+    def _sever_spanning(self) -> None:
+        """Schedule severance of live connections that now span a cut."""
+        for sock in list(self._sockets):
+            peer = sock._peer
+            if peer is None or not sock._initiator:
+                continue            # pairs are processed once, client side
+            if sock._rx.closed and peer._rx.closed:
+                continue            # already dead
+            if sock._sever_pending:
+                continue
+            if self.reachable(sock.local_host, peer.local_host):
+                continue
+            sock._sever_pending = True
+            delay = self._latency_between(sock.local_host, peer.local_host)
+
+            def _fire(a=sock, b=peer) -> None:
+                a._sever_pending = False
+                if self.reachable(a.local_host, b.local_host):
+                    return          # healed before the closure landed
+                for s in (a, b):
+                    if not s._rx.closed:
+                        s._rx.close()
+                        s._peer_closed = True
+                    # dead for good: drop from the severing scan set
+                    self._sockets.discard(s)
+
+            self.engine.call_later(delay, _fire)
+
+    # -- traffic accounting ----------------------------------------------------
+    def link_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-link counters; the uniform fabric reports its single
+        aggregate pipe (the hot path keeps no per-link books)."""
+        if self._fast_uniform:
+            return {"fabric": {"bytes": self.bytes_sent,
+                               "messages": self.messages_sent}}
+        return self.fabric.link_stats()
+
+    def hotspot(self) -> Tuple[Optional[str], int]:
+        """``(link name, bytes)`` of the busiest link."""
+        if self._fast_uniform:
+            if self.bytes_sent == 0:
+                return (None, 0)
+            return ("fabric", self.bytes_sent)
+        return self.fabric.hotspot()
 
     # -- listening -----------------------------------------------------------
     def listen(self, addr: Address, owner=None) -> "ListenSocket":
@@ -98,19 +240,23 @@ class Network:
 
         Returns an :class:`Event` which succeeds with the client
         :class:`Socket` after one round trip, or fails with
-        :class:`ConnectionRefused`.
+        :class:`ConnectionRefused` — also when the path is cut (the
+        handshake cannot cross a partition).
         """
         ev = self.engine.event(name=f"connect({addr})")
+        rtt = 2 * self._latency_between(src_host, addr.host)
         listener = self._listeners.get(addr)
-        if listener is None or listener.closed:
-            # Refusal still takes a round trip.
+        if listener is None or listener.closed \
+                or not self.reachable(src_host, addr.host):
+            # Refusal (or the partition timeout) still takes a round trip.
             self.engine.call_later(
-                2 * self.latency,
+                rtt,
                 lambda: ev.fail(ConnectionRefused(f"no listener at {addr}")))
             return ev
         conn_id = self._next_conn_id
         self._next_conn_id += 1
-        client = Socket(self, conn_id, local_host=src_host, remote=addr, owner=owner)
+        client = Socket(self, conn_id, local_host=src_host, remote=addr,
+                        owner=owner, initiator=True)
         server = Socket(self, conn_id, local_host=addr.host,
                         remote=Address(src_host, -conn_id), owner=listener.owner)
         client._peer = server
@@ -121,13 +267,16 @@ class Network:
             listener.owner.adopt_socket(server)
 
         def _deliver() -> None:
-            if listener.closed:
+            if listener.closed \
+                    or not self.reachable(src_host, addr.host):
                 ev.fail(ConnectionRefused(f"listener at {addr} closed"))
                 return
+            self._sockets.add(client)
+            self._sockets.add(server)
             listener._backlog.put(server)
             ev.succeed(client)
 
-        self.engine.call_later(2 * self.latency, _deliver)
+        self.engine.call_later(rtt, _deliver)
         return ev
 
     # -- transmission (socket-internal) -----------------------------------------
@@ -135,9 +284,19 @@ class Network:
         peer = sock._peer
         if peer is None or peer._rx.closed:
             return  # packets to a dead endpoint vanish
+        if (self._isolated or self._cut_pairs) \
+                and not self.reachable(sock.local_host, peer.local_host):
+            return  # packets into a cut vanish
         self.bytes_sent += size
         self.messages_sent += 1
-        arrival = max(sock._pipe_free, self.engine.now + self.latency + size / self.bandwidth)
+        if self._fast_uniform:
+            # Hot path: the historical arithmetic, no fabric lookup.
+            arrival = max(sock._pipe_free,
+                          self.engine.now + self.latency + size / self.bandwidth)
+        else:
+            arrival = self.fabric.delivery(self.engine.now, sock.local_host,
+                                           peer.local_host, size,
+                                           sock._pipe_free)
         sock._pipe_free = arrival
 
         def _arrive() -> None:
@@ -147,17 +306,27 @@ class Network:
         self.engine.call_at(arrival, _arrive)
 
     def _notify_close(self, sock: "Socket") -> None:
-        """Propagate a close to the peer after one latency."""
+        """Propagate a close to the peer after one path latency.
+
+        Deliberately ignores cuts: a close during a partition surfaces
+        at the peer anyway (the OS reset once packets flow again),
+        which keeps half-open connections from hanging forever.
+        """
         peer = sock._peer
         if peer is None:
             return
-        arrival = max(sock._pipe_free, self.engine.now + self.latency)
+        arrival = max(sock._pipe_free,
+                      self.engine.now
+                      + self._latency_between(sock.local_host, peer.local_host))
 
         def _close_peer() -> None:
             peer._rx.close()
             peer._peer_closed = True
 
         self.engine.call_at(arrival, _close_peer)
+
+    def _forget(self, sock: "Socket") -> None:
+        self._sockets.discard(sock)
 
 
 class ListenSocket:
@@ -197,7 +366,7 @@ class Socket:
     """One endpoint of an established connection."""
 
     def __init__(self, network: Network, conn_id: int, local_host: str,
-                 remote: Address, owner=None):
+                 remote: Address, owner=None, initiator: bool = False):
         self.network = network
         self.conn_id = conn_id
         self.local_host = local_host
@@ -208,6 +377,8 @@ class Socket:
         self._pipe_free: float = 0.0  # next time the outgoing pipe is free
         self.closed = False
         self._peer_closed = False
+        self._initiator = initiator
+        self._sever_pending = False
 
     # -- I/O ------------------------------------------------------------------
     def send(self, msg: Any, size: Optional[int] = None) -> None:
@@ -243,6 +414,7 @@ class Socket:
         self._rx.close()
         if self.owner is not None:
             self.owner.disown_socket(self)
+        self.network._forget(self)
         self.network._notify_close(self)
 
     @property

@@ -159,6 +159,31 @@ class ExperimentRow:
     def total_faults(self) -> int:
         return sum(r.failures_detected for r in self.results)
 
+    # -- fabric traffic accounting (see repro.netmodel) --------------------
+    @property
+    def mean_net_bytes(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.net_bytes for r in self.results) / self.n
+
+    def _hottest_result(self):
+        """The repetition with the busiest link (by byte count)."""
+        return max(self.results, key=lambda r: r.net_hotspot_bytes,
+                   default=None)
+
+    @property
+    def hotspot_link(self) -> Optional[str]:
+        best = self._hottest_result()
+        return best.net_hotspot if best is not None else None
+
+    @property
+    def hotspot_share(self) -> float:
+        """That same repetition's single-link share of its traffic."""
+        best = self._hottest_result()
+        if best is None or not best.net_bytes:
+            return 0.0
+        return best.net_hotspot_bytes / best.net_bytes
+
 
 @dataclass
 class ExperimentResult:
@@ -170,7 +195,8 @@ class ExperimentResult:
     def render(self) -> str:
         """ASCII table in the shape of the paper's plots."""
         header = (f"{'config':>22} | {'runs':>4} | {'%term':>6} | "
-                  f"{'%non-term':>9} | {'%buggy':>6} | {'exec time (s)':>16}")
+                  f"{'%non-term':>9} | {'%buggy':>6} | {'exec time (s)':>16} | "
+                  f"{'net MB':>8}")
         lines = [f"== {self.name} ==", header, "-" * len(header)]
         for row in self.rows:
             t = row.mean_exec_time
@@ -182,7 +208,7 @@ class ExperimentResult:
             lines.append(
                 f"{row.label:>22} | {row.n:>4} | {row.pct_terminated:>6.1f} | "
                 f"{row.pct_non_terminating:>9.1f} | {row.pct_buggy:>6.1f} | "
-                f"{timing:>16}")
+                f"{timing:>16} | {row.mean_net_bytes / 1e6:>8.1f}")
         return "\n".join(lines)
 
     def row(self, label: str) -> ExperimentRow:

@@ -1,0 +1,191 @@
+"""Network-sensitivity sweep: protocol × topology × oversubscription.
+
+The paper's testbed is one real cluster whose fabric silently shapes
+every figure (checkpoint-transfer slowdowns in Fig. 6, socket-closure
+failure detection).  This experiment makes the fabric a variable: it
+races every registered protocol over the :mod:`repro.netmodel` fabric
+family —
+
+* ``uniform`` — the historical single-pipe model (the baseline);
+* ``star`` — per-host access links into one shared switch;
+* ``twotier/oN`` — racks behind an ``N``:1 oversubscribed core, one
+  sweep point per requested oversubscription factor —
+
+with one mid-run fault so recovery traffic (checkpoint fetch + replay)
+crosses the contended links.  Rows surface the fabric traffic
+accounting added to :class:`~repro.mpichv.runtime.RunResult`: total
+bytes and the per-link hot spot, which is where oversubscription
+bites.
+
+Results land in ``BENCH_net.json`` (per-row means, hot-spot links,
+wall-clock and cache stats); trials flow through the shared cached
+:class:`~repro.experiments.runner.TrialRunner`, so re-sweeps are
+cache hits.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.harness import (ExperimentResult, TrialSetup,
+                                       run_trials)
+from repro.experiments.runner import (TrialRunner, add_runner_arguments,
+                                      runner_from_args)
+from repro.explore.generators import TimedKill, render_plan
+from repro.mpichv import protocols
+from repro.netmodel import TopologySpec
+
+REPS = 3
+OVERSUBS: Sequence[float] = (2.0, 8.0)
+#: ring calibration (~80 s fault-free at 4 procs; see repro.explore)
+CALIBRATION = dict(workload="ring", niters=40, total_compute=1280.0,
+                   footprint=1e8)
+FAULT_AT = 45
+
+
+def topology_grid(oversubs: Sequence[float] = OVERSUBS,
+                  rack_size: int = 4) -> List[Tuple[str, TopologySpec]]:
+    """The swept (label, spec) pairs, in sweep order."""
+    grid: List[Tuple[str, TopologySpec]] = [
+        ("uniform", TopologySpec("uniform")),
+        ("star", TopologySpec("star")),
+    ]
+    for factor in oversubs:
+        grid.append((f"twotier/o{factor:g}",
+                     TopologySpec("twotier", rack_size=rack_size,
+                                  oversubscription=factor)))
+    return grid
+
+
+def run_experiment(reps: int = REPS,
+                   protocol_names: Optional[Sequence[str]] = None,
+                   oversubs: Sequence[float] = OVERSUBS,
+                   n_procs: int = 4,
+                   n_machines: int = 7,
+                   faulty: bool = True,
+                   base_seed: int = 9000,
+                   runner: Optional[TrialRunner] = None) -> ExperimentResult:
+    protos = tuple(protocol_names or protocols.available())
+    grid = topology_grid(oversubs)
+    scenario = render_plan((TimedKill(at=FAULT_AT, target=0),)) \
+        if faulty else None
+
+    configs: List[Tuple[str, TopologySpec]] = []
+    labels: List[str] = []
+    for protocol in protos:
+        for topo_label, spec in grid:
+            configs.append((protocol, spec))
+            labels.append(f"{protocol}/{topo_label}")
+
+    def setup_for(config: Tuple[str, TopologySpec]) -> TrialSetup:
+        protocol, spec = config
+        setup = TrialSetup(
+            n_procs=n_procs, n_machines=n_machines,
+            protocol=protocol, timeout=600.0,
+            config_overrides={"topology": spec},
+            **CALIBRATION)
+        if scenario is not None:
+            from dataclasses import replace
+            from repro.explore import generators
+            setup = replace(setup, scenario_source=scenario,
+                            scenario_meta={"net_sensitivity": "kill@45"},
+                            master_daemon=generators.MASTER,
+                            node_daemon=generators.NODE_DAEMON)
+        return setup
+
+    fault_note = f"one kill at t={FAULT_AT}s" if faulty else "fault-free"
+    return run_trials(
+        setup_for=setup_for, configs=configs, labels=labels, reps=reps,
+        name=f"Network sensitivity — protocol x topology ({fault_note})",
+        base_seed=base_seed, runner=runner)
+
+
+def summarize(result: ExperimentResult) -> List[Dict[str, object]]:
+    """Per-row summary rows for ``BENCH_net.json`` (deterministic)."""
+    out: List[Dict[str, object]] = []
+    for row in result.rows:
+        out.append({
+            "label": row.label,
+            "runs": row.n,
+            "pct_terminated": row.pct_terminated,
+            "mean_exec_time": row.mean_exec_time,
+            "mean_net_mb": row.mean_net_bytes / 1e6,
+            "hotspot_link": row.hotspot_link,
+            "hotspot_share": row.hotspot_share,
+        })
+    return out
+
+
+def render_hotspots(result: ExperimentResult) -> str:
+    """Per-row hot-link table (the contention headline)."""
+    header = (f"{'config':>22} | {'net MB':>8} | {'hot link':>14} | "
+              f"{'share':>6}")
+    lines = ["== fabric hot spots ==", header, "-" * len(header)]
+    for row in result.rows:
+        hot = row.hotspot_link or "-"
+        lines.append(f"{row.label:>22} | {row.mean_net_bytes / 1e6:>8.1f} | "
+                     f"{hot:>14} | {100.0 * row.hotspot_share:>5.1f}%")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reps", type=int, default=REPS)
+    parser.add_argument("--protocols", action="append", default=[],
+                        metavar="NAME[,NAME]",
+                        help="protocols to sweep (default: all registered)")
+    parser.add_argument("--oversub", default=None, metavar="N[,N]",
+                        help="twotier oversubscription factors "
+                             "(default: 2,8)")
+    parser.add_argument("--procs", type=int, default=4)
+    parser.add_argument("--machines", type=int, default=7)
+    parser.add_argument("--no-faults", action="store_true",
+                        help="sweep fault-free (no recovery traffic)")
+    parser.add_argument("--quick", action="store_true",
+                        help="one trial per topology x protocol (CI smoke)")
+    parser.add_argument("--json", default="BENCH_net.json", metavar="PATH",
+                        help="benchmark JSON output path")
+    add_runner_arguments(parser)
+    args = parser.parse_args()
+
+    protos = [p for chunk in args.protocols for p in chunk.split(",") if p]
+    oversubs = tuple(float(x) for x in args.oversub.split(",")) \
+        if args.oversub else OVERSUBS
+    runner = runner_from_args(args)
+    reps = 1 if args.quick else args.reps
+
+    t0 = time.perf_counter()
+    result = run_experiment(
+        reps=reps, protocol_names=protos or None, oversubs=oversubs,
+        n_procs=args.procs, n_machines=args.machines,
+        faulty=not args.no_faults, runner=runner)
+    wall = time.perf_counter() - t0
+
+    print(result.render())
+    print()
+    print(render_hotspots(result))
+    stats = runner.stats
+    print(f"[runner] executed {stats.executed}, cache hits "
+          f"{stats.cache_hits} ({100.0 * stats.hit_rate:.0f}% hit rate)")
+    if args.json:
+        doc = {
+            "experiment": "net-sensitivity",
+            "reps": reps,
+            "protocols": list(protos or protocols.available()),
+            "oversubscriptions": list(oversubs),
+            "faulty": not args.no_faults,
+            "rows": summarize(result),
+            "wall_seconds": wall,
+            "executed": stats.executed,
+            "cache_hits": stats.cache_hits,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

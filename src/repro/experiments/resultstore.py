@@ -35,7 +35,7 @@ from repro.analysis.traces import Trace, TraceRecord
 from repro.mpichv.runtime import RunResult
 
 #: bump when the document layout changes; readers reject other versions
-FORMAT_VERSION = 2    # 2: app_signature + invariant_violations
+FORMAT_VERSION = 3    # 3: netmodel traffic accounting (net_* fields)
 
 
 def _json_safe(value: Any) -> Any:
@@ -90,6 +90,10 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
         "events_processed": result.events_processed,
         "app_signature": result.app_signature,
         "invariant_violations": list(result.invariant_violations),
+        "net_bytes": result.net_bytes,
+        "net_messages": result.net_messages,
+        "net_hotspot": result.net_hotspot,
+        "net_hotspot_bytes": result.net_hotspot_bytes,
     }
 
 
@@ -117,6 +121,10 @@ def run_result_from_dict(doc: Dict[str, Any]) -> RunResult:
         events_processed=doc["events_processed"],
         app_signature=doc.get("app_signature"),
         invariant_violations=list(doc.get("invariant_violations", [])),
+        net_bytes=int(doc.get("net_bytes", 0)),
+        net_messages=int(doc.get("net_messages", 0)),
+        net_hotspot=doc.get("net_hotspot"),
+        net_hotspot_bytes=int(doc.get("net_hotspot_bytes", 0)),
     )
 
 

@@ -47,9 +47,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 
 #: bump to invalidate every existing cache entry (key derivation or
 #: simulation semantics changed)
-CACHE_VERSION = 3        # 3: explore subsystem — per-deployment FAIL RNG,
-#                          invariant/app-signature capture, TrialSetup grew
-#                          scenario_meta + config_overrides
+CACHE_VERSION = 4        # 4: netmodel — VclConfig grew a TopologySpec
+#                          (hashed through config_overrides), results
+#                          carry fabric traffic accounting (net_*)
 
 
 def trial_key(setup: "TrialSetup", seed: int) -> str:

@@ -91,10 +91,11 @@ class ExploreConfig:
 
     def generator_context(self) -> GeneratorContext:
         stride = int(self.config_overrides.get("n_channel_memories", 2))
+        servers = int(self.config_overrides.get("n_ckpt_servers", 2))
         return GeneratorContext(
             n_machines=self.n_machines, n_busy=self.n_procs,
             window=self.window, max_faults=self.max_faults,
-            cm_stride=max(1, stride))
+            cm_stride=max(1, stride), n_ckpt_servers=max(1, servers))
 
 
 def quick_config(seed: int = 0, **overrides) -> ExploreConfig:
@@ -503,6 +504,9 @@ def main() -> None:  # pragma: no cover - CLI
                         type=_parse_override, metavar="KEY=VALUE",
                         help="extra VclConfig attribute (e.g. "
                              "cm_replay=false plants the broken-replay bug)")
+    parser.add_argument("--topology", default=None, metavar="MODEL",
+                        help="network fabric model for every trial "
+                             "(uniform/star/twotier; see repro.netmodel)")
     parser.add_argument("--max-shrinks", type=int, default=4)
     parser.add_argument("--shrink-budget", type=int, default=48)
     parser.add_argument("--out", default="explore_out", metavar="DIR",
@@ -519,6 +523,8 @@ def main() -> None:  # pragma: no cover - CLI
     args = parser.parse_args()
 
     overrides = dict(args.override)
+    if args.topology is not None:
+        overrides["topology"] = args.topology
     common = dict(
         protocols=_csv(args.protocols), workloads=_csv(args.workloads)
         or ("ring",), families=_csv(args.families), seed=args.seed,

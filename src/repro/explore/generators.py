@@ -23,11 +23,22 @@ Plan steps
 :class:`KillReporter`
     Wait for a recovery report and kill *whichever machine sent it*
     (``FAIL_SENDER``) — the fault-during-recovery pattern.
+:class:`TimedPartition`
+    At absolute time ``at``, cut a machine group (and optionally
+    service nodes) off the network fabric — the partition-class fault
+    no paper scenario expresses.  Isolation accumulates, so a
+    neighborhood cut in one step stays internally connected.
+:class:`Heal`
+    ``after`` seconds later, restore every cut link.  ``after == 0``
+    folds the heal into the partition's own transition, which lands
+    *before* the severance notification (one network latency) — the
+    failure detector never fires, probing the false-suspicion race.
 
 Steps execute strictly in sequence: a timed kill arms its timer only
 after the previous step's acknowledgement (``ok`` — fault injected —
 or ``no`` — nothing ran there, a no-op fault), exactly how the paper's
-masters chain injections.
+masters chain injections.  Partition/heal steps need no ack — the
+master executes them locally and moves on.
 
 Families (``FAMILIES``)
 -----------------------
@@ -46,6 +57,11 @@ Families (``FAMILIES``)
     Kill, await the victim's recovery relaunch, kill again.
 ``fault_during_recovery``
     Kill, then kill the first machine that reports a recovery wave.
+``partition_storm``
+    Timed partitions isolating CM/checkpoint-server neighborhoods
+    (the machines of the ranks homed on one Channel Memory, a single
+    machine, or a checkpoint-server service node), healed before or
+    after the socket-closure failure detector fires — or never.
 """
 
 from __future__ import annotations
@@ -78,13 +94,49 @@ class KillReporter:
     pass
 
 
-Step = Union[TimedKill, RekillRace, KillReporter]
+@dataclass(frozen=True)
+class TimedPartition:
+    at: int                        # absolute injection time, seconds
+    targets: Tuple[int, ...]       # machine indices isolated together
+    #: service-node names isolated with them (e.g. ``("svc2",)``)
+    services: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Heal:
+    after: int                     # seconds after the previous step
+
+
+Step = Union[TimedKill, RekillRace, KillReporter, TimedPartition, Heal]
 FaultPlan = Tuple[Step, ...]
 
 
-def plan_kills(plan: FaultPlan) -> int:
-    """Number of injection steps in a plan."""
-    return len(plan)
+def kill_steps(plan: FaultPlan) -> List[Step]:
+    """The process-killing steps of a plan."""
+    return [s for s in plan
+            if isinstance(s, (TimedKill, RekillRace, KillReporter))]
+
+
+def partition_steps(plan: FaultPlan) -> List["TimedPartition"]:
+    return [s for s in plan if isinstance(s, TimedPartition)]
+
+
+def has_unhealed_partition(plan: FaultPlan) -> bool:
+    """Does any partition survive to the end of the plan?
+
+    Each :class:`Heal` restores *every* cut, so only partitions after
+    the last heal stay active.  A surviving cut of *any* kind can
+    legitimately block the run: a compute cut stops the application
+    itself, and a service cut (e.g. a checkpoint server) strands any
+    recovery that must fetch state across the dead link.
+    """
+    unhealed = False
+    for step in plan:
+        if isinstance(step, TimedPartition):
+            unhealed = True
+        elif isinstance(step, Heal):
+            unhealed = False
+    return unhealed
 
 
 def plan_digest(plan: FaultPlan, n_machines: int) -> str:
@@ -132,11 +184,46 @@ def _node_daemon():
 
 
 def _master_daemon(plan: FaultPlan):
-    """Compile a plan into the sequential master adversary."""
+    """Compile a plan into the sequential master adversary.
+
+    Kill steps chain through the node daemons' ``ok``/``no`` acks;
+    partition and heal steps execute locally at the master and advance
+    directly.  A :class:`Heal` with ``after == 0`` immediately after a
+    partition folds into the *same* transition: the heal lands before
+    the severance notification (one network latency), so the failure
+    detector never observes the cut.
+    """
     nodes = []
     cursor = 0
     next_id = 1
-    for step in plan:
+    i = 0
+    while i < len(plan):
+        step = plan[i]
+        if isinstance(step, (TimedPartition, Heal)):
+            trigger_id, after_id = next_id, next_id + 1
+            if isinstance(step, TimedPartition):
+                delta = max(0, step.at - cursor)
+                cursor = max(cursor, step.at)
+                actions = [fb.partition(fb.group("G1", t))
+                           for t in step.targets]
+                actions += [fb.partition(fb.computer(svc))
+                            for svc in step.services]
+                if i + 1 < len(plan) and isinstance(plan[i + 1], Heal) \
+                        and plan[i + 1].after == 0:
+                    actions.append(fb.HEAL)   # heal-before-detection race
+                    i += 1
+            else:
+                delta = max(0, step.after)
+                cursor += delta
+                actions = [fb.HEAL]
+            nodes.append(fb.node(
+                trigger_id,
+                fb.when(fb.TIMER, *actions, fb.goto(after_id)),
+                timers=[fb.timer(delta)],
+            ))
+            next_id = after_id
+            i += 1
+            continue
         trigger_id, ack_id, after_id = next_id, next_id + 1, next_id + 2
         if isinstance(step, TimedKill):
             delta = max(0, step.at - cursor)
@@ -168,6 +255,7 @@ def _master_daemon(plan: FaultPlan):
             fb.when(fb.on_msg("no"), fb.goto(after_id)),
         ))
         next_id = after_id
+        i += 1
     nodes.append(fb.node(next_id))       # terminal: injection done
     return fb.daemon(MASTER, *nodes)
 
@@ -196,6 +284,8 @@ class GeneratorContext:
     max_faults: int = 4
     #: CM-neighborhood stride (``n_channel_memories`` of the v1 config)
     cm_stride: int = 2
+    #: deployed checkpoint servers (svc2..): partition targets
+    n_ckpt_servers: int = 2
 
     def pick_time(self, rng: random.Random) -> int:
         return rng.randint(self.window[0], self.window[1])
@@ -260,11 +350,55 @@ def _gen_fault_during_recovery(rng, ctx) -> Tuple[FaultPlan, str]:
     return tuple(plan), f"kill the recovering machine ({len(plan)} steps)"
 
 
+def _gen_partition_storm(rng, ctx) -> Tuple[FaultPlan, str]:
+    """Timed partitions isolating CM/checkpoint-server neighborhoods,
+    healed before or after the failure-detection race — or never."""
+    busy = ctx.n_busy or ctx.n_machines
+    stride = max(1, ctx.cm_stride)
+    steps: List[Step] = []
+    parts: List[str] = []
+    at = ctx.pick_time(rng)
+    for _ in range(rng.randint(1, 2)):
+        mode = rng.random()
+        if mode < 0.4:
+            cm = rng.randrange(stride)
+            targets = tuple(range(cm, busy, stride)) or (0,)
+            services: Tuple[str, ...] = ()
+            what = f"CM-{cm} neighborhood"
+        elif mode < 0.75:
+            targets = (rng.randrange(busy),)
+            services = ()
+            what = f"machine {targets[0]}"
+        else:
+            targets = ()
+            services = (f"svc{2 + rng.randrange(max(1, ctx.n_ckpt_servers))}",)
+            what = f"ckpt server {services[0]}"
+        steps.append(TimedPartition(at=at, targets=targets,
+                                    services=services))
+        if rng.random() < 0.85:
+            heal_after = 0 if rng.random() < 0.35 else rng.randint(2, 30)
+            steps.append(Heal(after=heal_after))
+            timing = ("before detection" if heal_after == 0
+                      else f"after {heal_after}s")
+            parts.append(f"{what} healed {timing}")
+        else:
+            parts.append(f"{what} never healed")
+        at += rng.randint(15, 40)
+    if rng.random() < 0.4:
+        # storm finale: a real death amid the partition churn — the
+        # detector now faces true and false suspicions in one run
+        victim = rng.randrange(busy)
+        steps.append(TimedKill(at=at, target=victim))
+        parts.append(f"then kill machine {victim} at t={at}")
+    return tuple(steps), "partition " + "; ".join(parts)
+
+
 #: family name -> (rng, ctx) -> (plan, description); sorted-name order
 #: is the canonical iteration order everywhere in the subsystem
 FAMILIES: Dict[str, Callable] = {
     "burst": _gen_burst,
     "fault_during_recovery": _gen_fault_during_recovery,
+    "partition_storm": _gen_partition_storm,
     "random_schedule": _gen_random_schedule,
     "rekill_race": _gen_rekill_race,
     "targeted": _gen_targeted,

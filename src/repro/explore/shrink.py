@@ -7,10 +7,12 @@ recovery.  :func:`shrink` reduces the plan while the failure persists:
 1. **drop faults** — greedy one-at-a-time removal, rescanning after
    every success (ddmin's 1-minimality for the plan sizes generators
    emit);
-2. **round timestamps** — timed kills move to the coarsest grid (60,
-   30, 10 s) that keeps failing, making the reproducer human-readable;
-3. **canonicalize targets** — retarget each kill to machine 0 when the
-   failure does not depend on the victim;
+2. **round timestamps** — timed kills/partitions (and heal delays)
+   move to the coarsest grid (60, 30, 10 s) that keeps failing,
+   making the reproducer human-readable;
+3. **canonicalize targets** — retarget each kill to machine 0, and
+   strip each partition down to a single victim, when the failure
+   does not depend on the full group;
 4. **reduce machine count** — shrink the cluster to the minimum the
    configuration allows.
 
@@ -27,7 +29,8 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Callable, List
 
-from repro.explore.generators import FaultPlan, TimedKill, render_plan
+from repro.explore.generators import (FaultPlan, Heal, TimedKill,
+                                      TimedPartition, render_plan)
 
 #: still_fails(plan, n_machines) -> True when the reduced scenario
 #: still trips an oracle
@@ -85,18 +88,26 @@ def _drop_steps(plan: FaultPlan, n_machines: int, budget: _Budget,
     return plan
 
 
+def _regrid_step(step, grid: int):
+    if isinstance(step, (TimedKill, TimedPartition)):
+        return dataclasses.replace(
+            step, at=max(grid, round(step.at / grid) * grid))
+    if isinstance(step, Heal) and step.after:
+        # after == 0 is the heal-before-detection race: keep it exact
+        return dataclasses.replace(
+            step, after=max(grid, round(step.after / grid) * grid))
+    return step
+
+
 def _round_times(plan: FaultPlan, n_machines: int, budget: _Budget,
                  still_fails: FailsPredicate,
                  log: List[str]) -> FaultPlan:
     for grid in (60, 30, 10):
-        candidate = tuple(
-            dataclasses.replace(s, at=max(grid, round(s.at / grid) * grid))
-            if isinstance(s, TimedKill) else s
-            for s in plan)
+        candidate = tuple(_regrid_step(s, grid) for s in plan)
         if candidate == plan:
             continue
         if _try(candidate, n_machines, budget, still_fails):
-            log.append(f"rounded kill times to the {grid}s grid")
+            log.append(f"rounded injection times to the {grid}s grid")
             plan = candidate
             break                   # coarsest surviving grid wins
     return plan
@@ -106,6 +117,17 @@ def _canonicalize_targets(plan: FaultPlan, n_machines: int, budget: _Budget,
                           still_fails: FailsPredicate,
                           log: List[str]) -> FaultPlan:
     for i, step in enumerate(plan):
+        if isinstance(step, TimedPartition):
+            # strip the cut down: first victim only, no service nodes
+            simplified = dataclasses.replace(
+                step, targets=step.targets[:1], services=()
+                if step.targets else step.services[:1])
+            if simplified != step:
+                candidate = plan[:i] + (simplified,) + plan[i + 1:]
+                if _try(candidate, n_machines, budget, still_fails):
+                    log.append(f"narrowed partition step {i}")
+                    plan = candidate
+            continue
         target = getattr(step, "target", None)
         if not target:              # None or already 0
             continue
@@ -117,10 +139,16 @@ def _canonicalize_targets(plan: FaultPlan, n_machines: int, budget: _Budget,
     return plan
 
 
+def _step_max_target(step) -> int:
+    if isinstance(step, TimedPartition):
+        return max(step.targets, default=0)
+    return getattr(step, "target", 0)
+
+
 def _reduce_machines(plan: FaultPlan, n_machines: int, min_machines: int,
                      budget: _Budget, still_fails: FailsPredicate,
                      log: List[str]) -> int:
-    max_target = max((getattr(s, "target", 0) for s in plan), default=0)
+    max_target = max((_step_max_target(s) for s in plan), default=0)
     floor = max(min_machines, max_target + 1)
     while n_machines > floor:
         candidate = max(floor, (n_machines + floor) // 2)

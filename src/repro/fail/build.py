@@ -33,6 +33,7 @@ ONERROR = ast.OnError()
 HALT = ast.HaltAction()
 STOP = ast.StopAction()
 CONTINUE = ast.ContinueAction()
+HEAL = ast.HealAction()
 SENDER = ast.DestSender()
 
 
@@ -69,6 +70,11 @@ def send(msg: str, dest: ast.Dest) -> ast.SendAction:
 def crash(dest: ast.Dest) -> ast.SendAction:
     """The conventional injection order of the paper's scenarios."""
     return send("crash", dest)
+
+
+def partition(dest: ast.Dest) -> ast.PartitionAction:
+    """``partition(dest)`` — cut ``dest``'s machine off the fabric."""
+    return ast.PartitionAction(dest)
 
 
 def goto(node_id: int) -> ast.GotoAction:

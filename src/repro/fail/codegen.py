@@ -140,6 +140,11 @@ def generate_python(daemon: ast.DaemonDef, params=None) -> str:
                     emit("            self.ctx.stop()")
                 elif isinstance(action, ast.ContinueAction):
                     emit("            self.ctx.cont()")
+                elif isinstance(action, ast.PartitionAction):
+                    emit(f"            self.ctx.partition("
+                         f"{_dest_py(action.dest)})")
+                elif isinstance(action, ast.HealAction):
+                    emit("            self.ctx.heal()")
                 elif isinstance(action, ast.AssignAction):
                     emit(f"            self.vars[{action.name!r}] = "
                          f"{_py_expr(action.expr)}")

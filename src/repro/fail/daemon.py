@@ -70,6 +70,7 @@ class FailDaemon(MachineContext):
         self._busy = False
         self.events_handled = 0
         self.faults_injected = 0
+        self.partitions_injected = 0
         platform.bus.register(instance, self)
         # Building the machine enters the start node, which may arm
         # timers/breakpoints through the context methods below.
@@ -198,6 +199,31 @@ class FailDaemon(MachineContext):
 
     def act_continue(self) -> None:
         self.debugger.cont()
+
+    def act_partition(self, dest_instance: str) -> None:
+        """``partition(dest)``: isolate the machine hosting the FAIL
+        instance ``dest_instance`` (falling back to a raw cluster node
+        name, so scenarios can cut service machines like ``svc2``)."""
+        resolver = getattr(self.platform, "node_for_instance", None)
+        node = resolver(dest_instance) if resolver is not None else None
+        network = getattr(self.platform, "network", None)
+        if node is None or network is None:
+            self.engine.log("partition_noop", instance=self.instance,
+                            target=dest_instance)
+            return
+        network.isolate(node.name)
+        self.partitions_injected += 1
+        self.engine.log("partition_injected", instance=self.instance,
+                        target=dest_instance, node=node.name)
+
+    def act_heal(self) -> None:
+        """``heal``: restore every cut link of the fabric."""
+        network = getattr(self.platform, "network", None)
+        if network is None:
+            self.engine.log("heal_noop", instance=self.instance)
+            return
+        network.heal()
+        self.engine.log("heal_injected", instance=self.instance)
 
     def arm_timer(self, delay: float, entry_gen: int) -> None:
         self.engine.call_later(

@@ -171,8 +171,34 @@ class AssignAction:
     expr: Expr
 
 
+@dataclass(frozen=True)
+class PartitionAction:
+    """``partition(dest)`` — cut the machine hosting instance ``dest``
+    off the rest of the network fabric.
+
+    Isolation accumulates into one minority partition (isolated
+    machines stay connected to each other), so a transition can carve
+    out a whole neighborhood with several ``partition`` actions.  A
+    destination naming no daemon instance falls back to a cluster node
+    name (e.g. ``partition(svc2)`` isolates a checkpoint server).
+    """
+
+    dest: Dest
+
+
+@dataclass(frozen=True)
+class HealAction:
+    """``heal`` — restore every cut link of the fabric.
+
+    Severed connections stay dead; a heal landing within one network
+    latency of the cut wins the race against the closure notification,
+    so the failure detector never fires (see
+    :class:`repro.cluster.network.Network`).
+    """
+
+
 Action = Union[SendAction, GotoAction, HaltAction, StopAction,
-               ContinueAction, AssignAction]
+               ContinueAction, AssignAction, PartitionAction, HealAction]
 
 
 # ---------------------------------------------------------------------------

@@ -18,7 +18,7 @@ from repro.fail.lang.errors import FailSyntaxError
 KEYWORDS = {
     "Daemon", "Deploy", "node", "int", "time", "always", "goto",
     "halt", "stop", "continue", "timer", "onload", "onexit", "onerror",
-    "before", "after", "on", "group",
+    "before", "after", "on", "group", "partition", "heal",
 }
 
 #: multi-char operators first so maximal munch works

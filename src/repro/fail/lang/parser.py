@@ -16,7 +16,8 @@ Grammar (see DESIGN.md §S5 and the listings in the paper):
     trigger     := "timer" | "?" IDENT | "onload" | "onexit" | "onerror"
                  | "before" "(" IDENT ")"
     action      := "!" IDENT "(" dest ")" | "goto" INT | "halt" | "stop"
-                 | "continue" | IDENT "=" expr
+                 | "continue" | "partition" "(" dest ")" | "heal"
+                 | IDENT "=" expr
     dest        := "FAIL_SENDER" | IDENT [ "[" expr "]" ]
     deploy_block:= "Deploy" "{" (IDENT ["[" INT "]"] "=" IDENT ";")* "}"
 
@@ -208,6 +209,15 @@ class _Parser:
         if self.at("keyword", "continue"):
             self.next()
             return ast.ContinueAction()
+        if self.at("keyword", "partition"):
+            self.next()
+            self.expect("(")
+            dest = self.dest()
+            self.expect(")")
+            return ast.PartitionAction(dest=dest)
+        if self.at("keyword", "heal"):
+            self.next()
+            return ast.HealAction()
         if self.at("ident") and self.at("=", ahead=1):
             name = self.next().value
             self.next()

@@ -77,6 +77,10 @@ def action_str(action: ast.Action) -> str:
         return "stop"
     if isinstance(action, ast.ContinueAction):
         return "continue"
+    if isinstance(action, ast.PartitionAction):
+        return f"partition({dest_str(action.dest)})"
+    if isinstance(action, ast.HealAction):
+        return "heal"
     if isinstance(action, ast.AssignAction):
         return f"{action.name} = {expr_str(action.expr)}"
     raise TypeError(f"not an action: {action!r}")

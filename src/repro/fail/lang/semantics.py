@@ -103,7 +103,7 @@ def check_daemon(daemon: ast.DaemonDef, params: Iterable[str] = ()) -> None:
                             f"daemon {daemon.name!r} node {nd.node_id}: "
                             f"assignment uses undefined name(s) "
                             f"{sorted(undef)}", line=tr.line)
-                elif isinstance(action, ast.SendAction):
+                elif isinstance(action, (ast.SendAction, ast.PartitionAction)):
                     if isinstance(action.dest, ast.DestIndex):
                         undef = _expr_vars(action.dest.index) - local - params
                         if undef:

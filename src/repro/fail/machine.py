@@ -46,6 +46,14 @@ class MachineContext:
     def act_continue(self) -> None:
         raise NotImplementedError
 
+    def act_partition(self, dest_instance: str) -> None:
+        """Isolate the machine hosting ``dest_instance`` from the fabric."""
+        raise NotImplementedError
+
+    def act_heal(self) -> None:
+        """Restore every cut link of the fabric."""
+        raise NotImplementedError
+
     def arm_timer(self, delay: float, entry_gen: int) -> None:
         raise NotImplementedError
 
@@ -238,6 +246,11 @@ class Machine:
                 if bp_controller is not None:
                     bp_controller.consume_and_release()
                 self.ctx.act_continue()
+            elif isinstance(action, ast.PartitionAction):
+                dest = self.ctx.resolve_dest(action.dest, self.env(), sender)
+                self.ctx.act_partition(dest)
+            elif isinstance(action, ast.HealAction):
+                self.ctx.act_heal()
             elif isinstance(action, ast.AssignAction):
                 self.vars[action.name] = eval_expr(action.expr, self.env(),
                                                    self.ctx.rng, self._reader)

@@ -121,6 +121,26 @@ class ScenarioDeployment:
         application under test (paper §4's wrapper-script scheme)."""
         return proc.name.startswith(self.app_prefix)
 
+    @property
+    def network(self):
+        """The runtime's network fabric (``partition``/``heal`` actions)."""
+        return self.runtime.cluster.network
+
+    def node_for_instance(self, name: str):
+        """Cluster node a ``partition(dest)`` destination refers to.
+
+        A FAIL instance name resolves to the machine its daemon
+        controls; anything else falls back to a raw cluster node name
+        (service machines carry no FAIL daemon), or ``None``.
+        """
+        daemon = self.daemons.get(name)
+        if daemon is not None:
+            return daemon.node
+        try:
+            return self.runtime.cluster.node(name)
+        except KeyError:
+            return None
+
     # -- introspection ------------------------------------------------------------
     def daemon(self, instance: str) -> FailDaemon:
         return self.daemons[instance]
@@ -130,6 +150,9 @@ class ScenarioDeployment:
 
     def total_faults_injected(self) -> int:
         return sum(d.faults_injected for d in self.daemons.values())
+
+    def total_partitions_injected(self) -> int:
+        return sum(d.partitions_injected for d in self.daemons.values())
 
 
 def deploy_scenario(runtime, source: str, params: Dict[str, int] = None,

@@ -12,6 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.netmodel import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, TopologySpec
+from repro.netmodel import validate_model as _validate_fabric_model
+
 MB = 1e6
 GB = 1e9
 
@@ -24,9 +27,10 @@ class TimingModel:
     engine RNG, so runs remain reproducible per seed.
     """
 
-    # network fabric (GigE-like)
-    net_latency: float = 1e-4
-    net_bandwidth: float = 100 * MB
+    # network fabric (GigE-like); the defaults are the single source of
+    # truth in repro.netmodel.spec, shared with repro.cluster.network
+    net_latency: float = DEFAULT_LATENCY
+    net_bandwidth: float = DEFAULT_BANDWIDTH
 
     # process management
     ssh_latency: float = 0.05
@@ -97,6 +101,11 @@ class VclConfig:
     #: reference "planted bug" the exploration oracles must catch
     #: (``repro.explore``); never disable it for real experiments.
     cm_replay: bool = True
+    #: network fabric shape (see :mod:`repro.netmodel`); accepts a
+    #: :class:`TopologySpec`, a bare model name ("uniform", "star",
+    #: "twotier") or a knob dict — coerced in ``__post_init__``.  The
+    #: runtime builds the cluster's fabric from this.
+    topology: object = field(default_factory=TopologySpec)
     timing: TimingModel = field(default_factory=TimingModel)
 
     # service ports
@@ -117,6 +126,8 @@ class VclConfig:
             raise ValueError("n_procs must be >= 1")
         if self.ckpt_period <= 0:
             raise ValueError("ckpt_period must be positive")
+        self.topology = TopologySpec.coerce(self.topology)
+        _validate_fabric_model(self.topology.model)   # unknown model raises
         # Registry-driven: unknown protocols and protocol/config
         # conflicts (e.g. ``blocking`` with a non-vcl protocol) raise
         # from the protocol's own validate hook.

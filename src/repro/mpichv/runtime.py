@@ -41,6 +41,12 @@ class RunResult:
     #: violations reported by the protocol's invariant hook
     #: (:func:`repro.mpichv.protocols.check_invariants`)
     invariant_violations: List[str] = field(default_factory=list)
+    #: fabric traffic accounting (see :mod:`repro.netmodel`): totals
+    #: plus the busiest link and its byte count (the hot spot)
+    net_bytes: int = 0
+    net_messages: int = 0
+    net_hotspot: Optional[str] = None
+    net_hotspot_bytes: int = 0
 
     @property
     def outcome(self) -> Outcome:
@@ -66,6 +72,7 @@ class VclRuntime:
             latency=config.timing.net_latency,
             bandwidth=config.timing.net_bandwidth,
             name_prefix="m",
+            topology=config.topology,
         )
         for i in range(config.n_service_nodes):
             self.cluster.add_node(f"svc{i}")
@@ -155,6 +162,8 @@ class VclRuntime:
         verdict = classify_run(self.trace, timeout)
         disp = self.dispatcher_state
         sched = self.scheduler_state
+        network = self.cluster.network
+        hotspot_link, hotspot_bytes = network.hotspot()
         return RunResult(
             verdict=verdict,
             trace=self.trace,
@@ -166,4 +175,8 @@ class VclRuntime:
             events_processed=self.engine.events_processed,
             app_signature=signature[0] if signature else None,
             invariant_violations=protocols.check_invariants(self),
+            net_bytes=network.bytes_sent,
+            net_messages=network.messages_sent,
+            net_hotspot=hotspot_link,
+            net_hotspot_bytes=hotspot_bytes,
         )

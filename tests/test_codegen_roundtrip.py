@@ -87,6 +87,8 @@ def drive_both(source: str, label: str, seed: int, steps: int = 60):
         assert gen_ctx.halted == interp_ctx.halted, where
         assert gen_ctx.stopped == interp_ctx.stopped, where
         assert gen_ctx.continued == interp_ctx.continued, where
+        assert gen_ctx.partitions == interp_ctx.partitions, where
+        assert gen_ctx.healed == interp_ctx.healed, where
         assert gen_ctx.timers == [d for d, _gen in interp_ctx.timers], where
 
 

@@ -19,6 +19,8 @@ class FakeCtx:
         self.halted = 0
         self.stopped = 0
         self.continued = 0
+        self.partitions = []
+        self.healed = 0
         self.timers = []
         self.nodes_entered = []
 
@@ -40,6 +42,12 @@ class FakeCtx:
 
     def act_continue(self):
         self.continued += 1
+
+    def act_partition(self, dest):
+        self.partitions.append(dest)
+
+    def act_heal(self):
+        self.healed += 1
 
     def arm_timer(self, delay, gen):
         self.timers.append((delay, gen))

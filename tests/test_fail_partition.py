@@ -1,0 +1,162 @@
+"""The ``partition``/``heal`` FAIL primitives, end to end through the
+language pipeline (lexer → parser → pretty → semantics → build →
+codegen → interpreter) and the live platform (FailDaemon acting on the
+runtime's network fabric)."""
+
+import pytest
+
+from repro.experiments.harness import TrialSetup
+from repro.fail import build as fb
+from repro.fail.compile import compile_scenario
+from repro.fail.codegen import generate_python
+from repro.fail.lang import ast
+from repro.fail.lang.errors import FailSemanticError
+from repro.fail.lang.parser import parse_fail
+from repro.fail.lang.pretty import pretty_print
+from repro.fail.machine import Machine
+
+from tests.test_fail_codegen import compile_handler
+from tests.test_fail_machine import FakeCtx
+
+PARTITION_SRC = """Daemon ADV {
+  node 1:
+    always int ran = FAIL_RANDOM(0, N);
+    time t = X;
+    timer -> partition(G1[ran]), partition(svc2), goto 2;
+  node 2:
+    time t2 = 5;
+    timer -> heal, goto 3;
+  node 3:
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# language pipeline
+# ---------------------------------------------------------------------------
+
+def test_partition_heal_parse_and_pretty_round_trip():
+    prog = parse_fail(PARTITION_SRC)
+    actions = prog.daemons[0].nodes[0].transitions[0].actions
+    assert isinstance(actions[0], ast.PartitionAction)
+    assert isinstance(actions[0].dest, ast.DestIndex)
+    assert isinstance(actions[1], ast.PartitionAction)
+    assert actions[1].dest == ast.DestName("svc2")
+    heal_actions = prog.daemons[0].nodes[1].transitions[0].actions
+    assert isinstance(heal_actions[0], ast.HealAction)
+    assert parse_fail(pretty_print(prog)) == prog
+
+
+def test_partition_compiles_through_the_full_pipeline():
+    compiled = compile_scenario(PARTITION_SRC, {"X": 3, "N": 5})
+    assert compiled.daemon_names == ("ADV",)
+
+
+def test_partition_dest_index_is_semantically_checked():
+    bad = "Daemon D { node 1: onload -> partition(G1[nope]); }"
+    with pytest.raises(FailSemanticError, match="undefined name"):
+        compile_scenario(bad)
+
+
+def test_build_api_constructs_partition_and_heal():
+    prog = fb.program(fb.daemon(
+        "D",
+        fb.node(1,
+                fb.when(fb.ONLOAD, fb.partition(fb.group("G1", 2)),
+                        fb.HEAL, fb.goto(1)))))
+    source = fb.render(prog)
+    assert "partition(G1[2])" in source and "heal" in source
+    assert parse_fail(source) == prog
+
+
+def test_interpreter_and_codegen_agree_on_partition_actions():
+    prog = parse_fail(PARTITION_SRC)
+    params = {"X": 3, "N": 5}
+    interp_ctx = FakeCtx(seed=4)
+    interp = Machine(prog.daemons[0], params, interp_ctx, "T")
+    gen, gen_ctx = compile_handler(PARTITION_SRC, params=params, seed=4)
+    assert interp.handle(("timer", interp.entry_gen))
+    assert gen.handle("timer")
+    assert interp_ctx.partitions == gen_ctx.partitions
+    assert len(interp_ctx.partitions) == 2
+    assert interp_ctx.partitions[1] == "svc2"
+    assert interp.handle(("timer", interp.entry_gen))
+    assert gen.handle("timer")
+    assert interp_ctx.healed == gen_ctx.healed == 1
+    assert interp.node_id == gen.node == 3
+
+
+def test_generated_python_contains_partition_calls():
+    prog = parse_fail(PARTITION_SRC)
+    code = generate_python(prog.daemons[0], {"X": 1, "N": 1})
+    assert "self.ctx.partition(" in code
+    assert "self.ctx.heal()" in code
+    compile(code, "<generated>", "exec")
+
+
+# ---------------------------------------------------------------------------
+# live platform: FailDaemon -> Network
+# ---------------------------------------------------------------------------
+
+NOP_NODE_DAEMON = """Daemon ADV2 {
+  node 1:
+    onload -> continue, goto 1;
+}
+"""
+
+
+def _deployed_runtime(source, params=None):
+    setup = TrialSetup(
+        n_procs=2, n_machines=3, workload="ring", niters=4,
+        total_compute=40.0, footprint=1e7, timeout=60.0,
+        scenario_source=source + NOP_NODE_DAEMON, scenario_params=params or {},
+        master_daemon="ADV1", node_daemon="ADV2")
+    return setup.build(seed=1)
+
+
+MASTER_ONLY = """Daemon ADV1 {
+  node 1:
+    time t = 2;
+    timer -> partition(G1[0]), goto 2;
+  node 2:
+    time t2 = 3;
+    timer -> heal, goto 3;
+  node 3:
+}
+"""
+
+
+def test_fail_daemon_partitions_and_heals_the_fabric():
+    runtime, deployment = _deployed_runtime(MASTER_ONLY)
+    engine = runtime.engine
+    runtime.deploy()
+    network = runtime.cluster.network
+    engine.run(until=2.5)
+    assert network.partitioned
+    assert not network.reachable("m0", "svc0")
+    assert network.reachable("m1", "svc0")
+    assert deployment.total_partitions_injected() == 1
+    assert runtime.trace.counts.get("partition_injected", 0) == 1
+    engine.run(until=6.0)
+    assert not network.partitioned
+    assert runtime.trace.counts.get("heal_injected", 0) == 1
+
+
+SVC_TARGET = """Daemon ADV1 {
+  node 1:
+    time t = 2;
+    timer -> partition(svc1), partition(nosuch), goto 2;
+  node 2:
+}
+"""
+
+
+def test_partition_falls_back_to_cluster_node_names():
+    runtime, deployment = _deployed_runtime(SVC_TARGET)
+    runtime.deploy()
+    runtime.engine.run(until=3.0)
+    network = runtime.cluster.network
+    assert not network.reachable("svc1", "m0")
+    # unknown destinations are a logged no-op, not a crash
+    assert runtime.trace.counts.get("partition_noop", 0) == 1
+    assert deployment.total_partitions_injected() == 1

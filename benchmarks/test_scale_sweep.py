@@ -1,0 +1,88 @@
+"""Benchmarks for the scale axis: sharded checkpoint servers + the
+512-rank fast path.
+
+Two benchmarks:
+
+* ``test_scale_sweep_shard_balance`` — a reduced (or, with
+  ``REPRO_FULL=1``, the default) shard sweep, asserting the
+  qualitative shape: one server takes 100 % of the checkpoint ingest
+  at k = 1 and the load spreads evenly as k grows, with Vcl's wave
+  drain (and hence execution time) improving alongside.
+
+* ``test_scale_512_rank_delivery`` — one end-to-end 512-rank trial
+  through the full runtime (mesh build, message delivery, checkpoint
+  waves).  This is the scale fast-path guard: the slotted engine, the
+  paused-GC policy and cycle-breaking disposal took the PR 3/PR 4
+  baseline from ~95 s to ~33 s wall for the sweep's faulted full cell
+  (~3×; ~196 s → ~67 s for a two-trial worker batch, where the old
+  collector degraded per trial); the recorded timing keeps the
+  trajectory honest.
+"""
+
+import pytest
+
+from benchmarks.conftest import FULL, attach, make_runner
+from repro.analysis.classify import Outcome
+from repro.experiments import scale_sweep
+from repro.experiments.harness import TrialSetup
+
+
+@pytest.mark.benchmark(group="scale")
+def test_scale_sweep_shard_balance(benchmark):
+    ranks = (32, 64) if not FULL else scale_sweep.RANKS
+    shards = (1, 4) if not FULL else scale_sweep.SHARDS
+    result = benchmark.pedantic(
+        lambda: scale_sweep.run_experiment(
+            reps=1, ranks=ranks, shards=shards, runner=make_runner()),
+        rounds=1, iterations=1)
+    attach(benchmark, result)
+    print(scale_sweep.render_shard_balance(result))
+
+    for row in result.rows:
+        assert row.pct_terminated == 100.0, row.label
+        share, imbalance, n_shards = scale_sweep._row_shard_stats(row)
+        if n_shards == 1:
+            # the paper's regime: one server takes every byte
+            assert share == pytest.approx(1.0), row.label
+        else:
+            # sharding dissolves the hot spot (~1/k each, small skew)
+            assert share < 1.5 / n_shards, (row.label, share)
+            assert imbalance < 1.25, (row.label, imbalance)
+    # Vcl's wave drain contends on the shared servers: more shards must
+    # never slow it down, and should visibly speed it up at k=1 -> max
+    for n in ranks:
+        k_lo = result.row(f"vcl/n{n}/k{shards[0]}").mean_exec_time
+        k_hi = result.row(f"vcl/n{n}/k{shards[-1]}").mean_exec_time
+        assert k_hi <= k_lo, (n, k_lo, k_hi)
+
+
+@pytest.mark.benchmark(group="scale")
+def test_scale_512_rank_delivery(benchmark):
+    """One 512-rank deployment end to end (reduced rounds by default,
+    the sweep's full faulted cell under ``REPRO_FULL=1``)."""
+    if FULL:
+        from repro.explore.generators import (MASTER, NODE_DAEMON, TimedKill,
+                                              render_plan)
+        setup = TrialSetup(
+            n_procs=512, n_machines=516, protocol="vcl", timeout=600.0,
+            workload="ring", niters=scale_sweep.ROUNDS,
+            total_compute=scale_sweep.COMPUTE_PER_RANK * 512,
+            footprint=scale_sweep.FOOTPRINT,
+            scenario_source=render_plan(
+                (TimedKill(at=scale_sweep.FAULT_AT, target=0),)),
+            master_daemon=MASTER, node_daemon=NODE_DAEMON,
+            config_overrides={"n_ckpt_servers": 4})
+    else:
+        setup = TrialSetup(
+            n_procs=512, n_machines=516, protocol="vcl", timeout=600.0,
+            workload="ring", niters=10, total_compute=110.0 * 512,
+            footprint=1e9, ckpt_period=15.0,
+            config_overrides={"n_ckpt_servers": 4})
+
+    result = benchmark.pedantic(lambda: setup.run_one(seed=2),
+                                rounds=1, iterations=1)
+    assert result.outcome is Outcome.TERMINATED
+    assert len(result.ckpt_shard_bytes) == 4
+    assert all(b > 0 for b in result.ckpt_shard_bytes)
+    benchmark.extra_info["events_processed"] = result.events_processed
+    benchmark.extra_info["sim_time"] = result.sim_time

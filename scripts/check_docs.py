@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""Docs checker: executable snippets + relative links.
+
+Documentation rots silently; CI runs this so it cannot.  Two checks
+over ``README.md``, ``EXPERIMENTS.md`` and ``docs/*.md``:
+
+**Snippets.**  Fenced code blocks are a contract:
+
+* ```` ```python ```` blocks are *executed* (each in a fresh
+  subprocess with ``PYTHONPATH=src``, cwd = a scratch directory) and
+  must exit 0.  Write them quick — reduced scales, ``--quick`` forms.
+* ```` ```console ```` blocks are shell transcripts: every line
+  starting with ``$ `` is executed through ``bash -c`` (same env/cwd)
+  and must exit 0; other lines are expected-output decoration and are
+  ignored.
+* ```` ```bash ```` / ```` ```text ```` blocks are display-only and
+  never executed — use them for slow or destructive exemplars.
+* any block containing the marker ``docs: skip`` is not executed.
+
+**Links.**  Every markdown link/image with a relative target must
+resolve to an existing file inside the repository; ``#anchor``
+fragments (bare or after a ``.md`` target) must match a heading of the
+target document (GitHub slug rules, simplified).  Absolute URLs and
+links resolving outside the repo (e.g. the CI badge's
+``../../actions/...`` GitHub route) are skipped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_GLOBS = ("README.md", "EXPERIMENTS.md", os.path.join("docs", "*.md"))
+
+FENCE_RE = re.compile(r"^```([A-Za-z0-9_+-]*)\s*$")
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_MARKER = "docs: skip"
+
+
+@dataclass
+class Snippet:
+    path: str
+    line: int
+    lang: str
+    body: str
+
+
+def doc_files(root: str = REPO) -> List[str]:
+    import glob
+    out: List[str] = []
+    for pattern in DOC_GLOBS:
+        out.extend(sorted(glob.glob(os.path.join(root, pattern))))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# extraction
+# ---------------------------------------------------------------------------
+
+def extract_snippets(path: str) -> List[Snippet]:
+    snippets: List[Snippet] = []
+    lang: Optional[str] = None
+    body: List[str] = []
+    start = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            stripped = line.rstrip("\n")
+            m = FENCE_RE.match(stripped)
+            if m and lang is None:
+                lang = m.group(1).lower()
+                body = []
+                start = lineno
+            elif stripped.startswith("```") and lang is not None:
+                snippets.append(Snippet(path=path, line=start, lang=lang,
+                                        body="\n".join(body)))
+                lang = None
+            elif lang is not None:
+                body.append(stripped)
+    return snippets
+
+
+def extract_links(path: str) -> List[Tuple[int, str]]:
+    links: List[Tuple[int, str]] = []
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                links.append((lineno, m.group(1)))
+    return links
+
+
+# ---------------------------------------------------------------------------
+# link checking
+# ---------------------------------------------------------------------------
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug, simplified: lowercase, drop punctuation,
+    spaces to hyphens (backticks/formatting stripped)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: str) -> List[str]:
+    slugs: List[str] = []
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if not in_fence and line.startswith("#"):
+                slugs.append(github_slug(line.lstrip("#")))
+    return slugs
+
+
+def check_link(doc: str, target: str) -> Optional[str]:
+    """Return an error string, or None when the link is fine/skipped."""
+    if re.match(r"^[a-z][a-z0-9+.-]*:", target):   # http:, mailto:, ...
+        return None
+    base, _, fragment = target.partition("#")
+    if base:
+        resolved = os.path.normpath(os.path.join(os.path.dirname(doc), base))
+        if not resolved.startswith(REPO + os.sep) and resolved != REPO:
+            return None      # GitHub-routed links (../../actions/...) etc.
+        if not os.path.exists(resolved):
+            return f"broken link target {target!r}"
+        anchor_doc = resolved
+    else:
+        anchor_doc = doc
+    if fragment:
+        if not anchor_doc.endswith(".md"):
+            return None
+        if github_slug(fragment) not in heading_slugs(anchor_doc):
+            return f"broken anchor {target!r}"
+    return None
+
+
+def check_links(paths: Iterable[str]) -> List[str]:
+    errors: List[str] = []
+    for path in paths:
+        rel = os.path.relpath(path, REPO)
+        for lineno, target in extract_links(path):
+            err = check_link(path, target)
+            if err:
+                errors.append(f"{rel}:{lineno}: {err}")
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# snippet execution
+# ---------------------------------------------------------------------------
+
+def run_snippet(snippet: Snippet, workdir: str) -> List[str]:
+    """Execute one snippet; return error strings (empty = passed)."""
+    rel = os.path.relpath(snippet.path, REPO)
+    where = f"{rel}:{snippet.line}"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+
+    def run(argv_or_script, shell_line=None):
+        # python blocks run in the scratch dir (their file output is
+        # ephemeral); console transcripts are written repo-relative
+        # ("PYTHONPATH=src python -m repro ...") so they run from the
+        # repo root, exactly as a reader would type them.
+        label = shell_line or "python block"
+        cwd = REPO if shell_line is not None else workdir
+        try:
+            proc = subprocess.run(
+                argv_or_script, cwd=cwd, env=env, shell=shell_line
+                is not None, capture_output=True, text=True, timeout=600)
+        except subprocess.TimeoutExpired:
+            return [f"{where}: timed out: {label}"]
+        if proc.returncode != 0:
+            tail = (proc.stderr or proc.stdout).strip().splitlines()[-8:]
+            return [f"{where}: exit {proc.returncode}: {label}\n    "
+                    + "\n    ".join(tail)]
+        return []
+
+    if snippet.lang == "python":
+        return run([sys.executable, "-c", snippet.body])
+    if snippet.lang == "console":
+        errors: List[str] = []
+        for line in snippet.body.splitlines():
+            if line.startswith("$ "):
+                errors.extend(run(line[2:], shell_line=line[2:]))
+        return errors
+    return []
+
+
+def check_snippets(paths: Iterable[str]) -> List[str]:
+    errors: List[str] = []
+    ran = 0
+    with tempfile.TemporaryDirectory(prefix="docs-check-") as workdir:
+        for path in paths:
+            for snippet in extract_snippets(path):
+                if snippet.lang not in ("python", "console"):
+                    continue
+                if SKIP_MARKER in snippet.body:
+                    continue
+                ran += 1
+                errors.extend(run_snippet(snippet, workdir))
+    print(f"[docs-check] executed {ran} snippet(s)")
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--no-snippets", action="store_true",
+                        help="only check links")
+    parser.add_argument("files", nargs="*",
+                        help="markdown files (default: README.md, "
+                             "EXPERIMENTS.md, docs/*.md)")
+    args = parser.parse_args(argv)
+
+    paths = [os.path.abspath(f) for f in args.files] or doc_files()
+    errors = check_links(paths)
+    if not args.no_snippets:
+        errors.extend(check_snippets(paths))
+    for err in errors:
+        print(f"[docs-check] FAIL {err}", file=sys.stderr)
+    if not errors:
+        print(f"[docs-check] ok: {len(paths)} document(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

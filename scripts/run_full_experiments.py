@@ -18,7 +18,7 @@ import time
 
 from repro.experiments import (compare_protocols, fig5_frequency, fig6_scale,
                                fig7_simultaneous, fig9_synchronized,
-                               fig11_state_sync, table1_tools)
+                               fig11_state_sync, scale_sweep, table1_tools)
 from repro.experiments.fig6_scale import variance_by_scale
 from repro.experiments.runner import add_runner_arguments, runner_from_args
 
@@ -119,6 +119,10 @@ def main():
     banner("Protocol comparison — vcl vs v2 vs v1, identical scenarios (§6)")
     rc = campaign.timed("compare_protocols", compare_protocols.run_experiment)
     print(compare_protocols.crossover_summary(rc), flush=True)
+
+    banner("Scale sweep — protocol x ranks (to 512) x ckpt-server shards")
+    rs = campaign.timed("scale_sweep", scale_sweep.run_experiment)
+    print(scale_sweep.render_shard_balance(rs), flush=True)
 
     summary = campaign.summary(args, time.time() - t0)
     with open(args.bench_out, "w", encoding="utf-8") as fh:

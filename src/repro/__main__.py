@@ -24,6 +24,8 @@ COMMANDS = {
                 "generated fault scenarios + oracles + shrinking"),
     "net-sensitivity": ("repro.experiments.net_sensitivity",
                         "protocol x topology x oversubscription sweep"),
+    "scale-sweep": ("repro.experiments.scale_sweep",
+                    "protocol x ranks x ckpt-server shards, up to 512 ranks"),
 }
 
 #: legacy spellings kept working

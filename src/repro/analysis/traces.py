@@ -58,6 +58,17 @@ class Trace:
         """Register a live listener (used by FAIL trigger plumbing)."""
         self._listeners.append(listener)
 
+    def unsubscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Remove one registered listener (unknown listeners are a
+        no-op, so teardown paths can be unconditional)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def clear_listeners(self) -> None:
+        """Drop every listener — live wiring must not outlive the run
+        whose records this trace now merely archives."""
+        self._listeners.clear()
+
     # -- queries ----------------------------------------------------------
     def __len__(self) -> int:
         return len(self.records)

@@ -101,6 +101,11 @@ class Network:
         self._fast_uniform = self.fabric.is_uniform
         #: live connection endpoints (for partition severing)
         self._sockets: Set["Socket"] = set()
+        #: every endpoint/listener ever created, closed ones included —
+        #: consumed only by teardown (VclRuntime.dispose), which must
+        #: break the ``_peer`` cycles of sockets long forgotten here
+        self._all_sockets: List["Socket"] = []
+        self._all_listeners: List["ListenSocket"] = []
         #: hosts on the isolated side of an accumulated partition
         self._isolated: Set[str] = set()
         #: explicitly cut host pairs
@@ -227,6 +232,7 @@ class Network:
             raise OSError(f"address {addr} already in use")
         ls = ListenSocket(self, addr, owner=owner)
         self._listeners[addr] = ls
+        self._all_listeners.append(ls)
         if owner is not None:
             owner.adopt_socket(ls)
         return ls
@@ -328,6 +334,18 @@ class Network:
     def _forget(self, sock: "Socket") -> None:
         self._sockets.discard(sock)
 
+    def dispose(self) -> None:
+        """Break every endpoint's reference cycles, dead ones included
+        (teardown only — see ``VclRuntime.dispose``)."""
+        for sock in self._all_sockets:
+            sock.dispose()
+        self._all_sockets.clear()
+        self._sockets.clear()
+        for listener in self._all_listeners:
+            listener.dispose()
+        self._all_listeners.clear()
+        self._listeners.clear()
+
 
 class ListenSocket:
     """A bound listening endpoint; ``accept()`` yields server sockets."""
@@ -358,6 +376,11 @@ class ListenSocket:
             srv.close()
         self._backlog.close()
 
+    def dispose(self) -> None:
+        """Teardown-only cycle breaking (owner link, queued peers)."""
+        self.owner = None
+        self._backlog.dispose()
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<ListenSocket {self.addr} closed={self.closed}>"
 
@@ -379,6 +402,7 @@ class Socket:
         self._peer_closed = False
         self._initiator = initiator
         self._sever_pending = False
+        network._all_sockets.append(self)
 
     # -- I/O ------------------------------------------------------------------
     def send(self, msg: Any, size: Optional[int] = None) -> None:
@@ -420,6 +444,13 @@ class Socket:
     @property
     def peer_alive(self) -> bool:
         return not self._peer_closed and not self._rx.closed
+
+    def dispose(self) -> None:
+        """Teardown-only cycle breaking (the ``_peer`` pair link is the
+        cycle; owner and buffered messages pin the rest)."""
+        self._peer = None
+        self.owner = None
+        self._rx.dispose()
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<Socket #{self.conn_id} {self.local_host}->{self.remote} "

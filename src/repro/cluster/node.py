@@ -22,6 +22,10 @@ class Node:
         self.name = name
         self.index = index
         self.procs: List[UnixProcess] = []
+        #: every process ever spawned here, dead ones included —
+        #: consumed only by teardown (VclRuntime.dispose), which must
+        #: break the cycles of processes long gone from :attr:`procs`
+        self._all_procs: List[UnixProcess] = []
         self._spawn_listeners: List[Callable[[UnixProcess], None]] = []
 
     # -- process management ------------------------------------------------
@@ -36,6 +40,7 @@ class Node:
         """
         proc = UnixProcess(self, name, main, tags=tags)
         self.procs.append(proc)
+        self._all_procs.append(proc)
         self.engine.log("proc_launch", pid=proc.pid, name=name, node=self.name)
         if notify:
             for listener in list(self._spawn_listeners):
@@ -71,6 +76,15 @@ class Node:
 
     def connect(self, addr: Address, owner: Optional[UnixProcess] = None):
         return self.cluster.network.connect(self.name, addr, owner=owner)
+
+    def dispose(self) -> None:
+        """Teardown-only cycle breaking of every process ever spawned
+        here, dead ones included (see ``VclRuntime.dispose``)."""
+        for proc in self._all_procs:
+            proc.dispose()
+        self._all_procs.clear()
+        self.procs.clear()
+        self._spawn_listeners.clear()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Node {self.name} procs={len(self.procs)}>"

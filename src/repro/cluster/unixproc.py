@@ -199,5 +199,17 @@ class UnixProcess:
         """Convenience: ``yield from proc.sleep(dt)``."""
         yield self.engine.timeout(delay)
 
+    def dispose(self) -> None:
+        """Teardown-only cycle breaking: threads, sockets, handlers
+        (see ``VclRuntime.dispose``); the process is unusable after."""
+        self.tags.clear()
+        self._sockets.clear()
+        self._exit_listeners.clear()
+        self._bp_handlers.clear()
+        for thread in self._threads:
+            thread.dispose()
+        self._threads.clear()
+        self.main_thread = None
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<UnixProcess pid={self.pid} {self.name!r} on {self.node.name} {self.state.value}>"

@@ -14,7 +14,11 @@
 * :mod:`repro.experiments.fig11_state_sync` — faults synchronized on
   MPI state (breakpoint at ``localMPI_setCommand``);
 * :mod:`repro.experiments.table1_tools` — the §2.1 qualitative
-  criteria matrix.
+  criteria matrix;
+* :mod:`repro.experiments.net_sensitivity` — protocol × topology ×
+  oversubscription sweep over the :mod:`repro.netmodel` fabrics;
+* :mod:`repro.experiments.scale_sweep` — protocol × ranks (up to 512)
+  × checkpoint-server shards, past the paper's Fig. 6 range.
 
 Every module exposes ``run_experiment(...) -> ExperimentResult`` and a
 ``main()`` CLI that prints the regenerated table.

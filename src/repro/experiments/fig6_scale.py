@@ -27,6 +27,10 @@ from repro.experiments.runner import (TrialRunner, add_runner_arguments,
                                       runner_from_args)
 
 SCALES: Sequence[int] = (25, 36, 49, 64)
+#: past the paper's range (BT needs perfect squares); the sharded
+#: checkpoint servers and the engine fast path make these practical —
+#: see also ``python -m repro scale-sweep`` for the 512-rank axis
+EXTENDED_SCALES: Sequence[int] = (25, 36, 49, 64, 121, 256)
 FAULT_PERIOD = 50
 REPS = 5
 
@@ -73,9 +77,13 @@ def main() -> None:  # pragma: no cover - CLI
     import argparse
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--reps", type=int, default=REPS)
+    parser.add_argument("--extended", action="store_true",
+                        help="extend the scale axis past the paper's range "
+                             f"(scales {', '.join(map(str, EXTENDED_SCALES))})")
     add_runner_arguments(parser)
     args = parser.parse_args()
-    print(run_experiment(reps=args.reps,
+    scales = EXTENDED_SCALES if args.extended else SCALES
+    print(run_experiment(reps=args.reps, scales=scales,
                          runner=runner_from_args(args)).render())
 
 

@@ -102,8 +102,17 @@ class TrialSetup:
         return runtime, deployment
 
     def run_one(self, seed: int) -> RunResult:
-        runtime, _deployment = self.build(seed)
-        return runtime.run()
+        runtime, deployment = self.build(seed)
+        try:
+            return runtime.run()
+        finally:
+            # Throughput path: break the dead deployment's cycles so
+            # the interpreter reclaims it by refcount instead of a
+            # multi-second gc pass (load-bearing at 512 ranks; see
+            # VclRuntime.dispose) — on error paths too, or every later
+            # trial in the worker pays the collector for this one.
+            runtime.dispose()
+            del runtime, deployment
 
 
 @dataclass

@@ -35,7 +35,7 @@ from repro.analysis.traces import Trace, TraceRecord
 from repro.mpichv.runtime import RunResult
 
 #: bump when the document layout changes; readers reject other versions
-FORMAT_VERSION = 3    # 3: netmodel traffic accounting (net_* fields)
+FORMAT_VERSION = 4    # 4: per-shard checkpoint ingest (ckpt_shard_bytes)
 
 
 def _json_safe(value: Any) -> Any:
@@ -94,6 +94,7 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
         "net_messages": result.net_messages,
         "net_hotspot": result.net_hotspot,
         "net_hotspot_bytes": result.net_hotspot_bytes,
+        "ckpt_shard_bytes": list(result.ckpt_shard_bytes),
     }
 
 
@@ -125,6 +126,7 @@ def run_result_from_dict(doc: Dict[str, Any]) -> RunResult:
         net_messages=int(doc.get("net_messages", 0)),
         net_hotspot=doc.get("net_hotspot"),
         net_hotspot_bytes=int(doc.get("net_hotspot_bytes", 0)),
+        ckpt_shard_bytes=[int(b) for b in doc.get("ckpt_shard_bytes", [])],
     )
 
 

@@ -1,0 +1,242 @@
+"""Scale sweep: protocol × ranks × checkpoint-server shards.
+
+The paper's Fig. 6 stops at 64 processes — where a single checkpoint
+server saturates (every wave funnels ``footprint`` bytes through one
+60 MB/s disk).  This experiment extends the scale axis past the
+paper's range and makes the server count a variable: every registered
+protocol runs at ranks up to 512 with the checkpoint traffic spread
+over k ∈ {1, 2, 4, 8} shards by the deterministic map in
+:mod:`repro.mpichv.shardmap`.
+
+Per cell the sweep reports the usual outcome/time columns plus the
+*shard balance* carried by every :class:`~repro.mpichv.runtime.RunResult`
+(``ckpt_shard_bytes``): the busiest server's share of checkpoint
+ingest, which is where the k = 1 hot spot dissolves as k grows.  On a
+contended fabric (``--topology star``) the same story shows up in the
+per-link hot spot — the single server's downlink stops dominating.
+
+One mid-run kill (t = 45 s by default) makes the restart path cross
+the shard map too: the failed rank refetches its image from its own
+shard.  Trials flow through the cached
+:class:`~repro.experiments.runner.TrialRunner`; results land in
+``BENCH_scale.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.harness import (ExperimentResult, ExperimentRow,
+                                       TrialSetup, run_trials)
+from repro.experiments.runner import (TrialRunner, add_runner_arguments,
+                                      runner_from_args)
+from repro.mpichv import protocols
+
+REPS = 1
+RANKS: Sequence[int] = (32, 64, 128, 256, 512)
+SHARDS: Sequence[int] = (1, 2, 4, 8)
+QUICK_RANKS: Sequence[int] = (32, 64)
+QUICK_SHARDS: Sequence[int] = (1, 4)
+FAULT_AT = 45
+
+#: ring calibration — per-rank work is held constant
+#: (``COMPUTE_PER_RANK`` CPU-seconds each, overlapped across the
+#: ring), so the fault-free run stays ~110 s of simulated time at
+#: every rank count while message/checkpoint volume grows with the
+#: deployment
+ROUNDS = 40
+COMPUTE_PER_RANK = 440.0
+#: total application footprint: one wave pushes 1 GB through the
+#: shards — ~17 s of ingest on a single 60 MB/s server (the paper's
+#: saturation regime), ~2 s over 8
+FOOTPRINT = 1e9
+
+
+def sweep_grid(protocol_names: Sequence[str],
+               ranks: Sequence[int],
+               shards: Sequence[int]) -> List[Tuple[str, int, int]]:
+    """(protocol, n_procs, n_ckpt_servers) cells, in sweep order."""
+    return [(protocol, n, k)
+            for protocol in protocol_names
+            for n in ranks
+            for k in shards]
+
+
+def run_experiment(reps: int = REPS,
+                   protocol_names: Optional[Sequence[str]] = None,
+                   ranks: Sequence[int] = RANKS,
+                   shards: Sequence[int] = SHARDS,
+                   faulty: bool = True,
+                   topology: str = "uniform",
+                   base_seed: int = 11000,
+                   runner: Optional[TrialRunner] = None) -> ExperimentResult:
+    protos = tuple(protocol_names or protocols.available())
+    grid = sweep_grid(protos, ranks, shards)
+    scenario = None
+    if faulty:
+        from repro.explore.generators import TimedKill, render_plan
+        scenario = render_plan((TimedKill(at=FAULT_AT, target=0),))
+
+    configs = grid
+    labels = [f"{protocol}/n{n}/k{k}" for protocol, n, k in grid]
+
+    def setup_for(config: Tuple[str, int, int]) -> TrialSetup:
+        protocol, n, k = config
+        overrides: Dict[str, object] = {"n_ckpt_servers": k}
+        if topology != "uniform":
+            overrides["topology"] = topology
+        setup = TrialSetup(
+            n_procs=n, n_machines=n + 4,
+            protocol=protocol, timeout=600.0, footprint=FOOTPRINT,
+            workload="ring", niters=ROUNDS,
+            total_compute=COMPUTE_PER_RANK * n,
+            config_overrides=overrides)
+        if scenario is not None:
+            from dataclasses import replace
+
+            from repro.explore import generators
+            setup = replace(setup, scenario_source=scenario,
+                            scenario_meta={"scale_sweep": f"kill@{FAULT_AT}"},
+                            master_daemon=generators.MASTER,
+                            node_daemon=generators.NODE_DAEMON)
+        return setup
+
+    fault_note = f"one kill at t={FAULT_AT}s" if faulty else "fault-free"
+    return run_trials(
+        setup_for=setup_for, configs=configs, labels=labels, reps=reps,
+        name=(f"Scale sweep — protocol x ranks x ckpt shards "
+              f"({fault_note}, {topology})"),
+        base_seed=base_seed, runner=runner)
+
+
+# ---------------------------------------------------------------------------
+# shard-balance reporting
+# ---------------------------------------------------------------------------
+
+def _row_shard_stats(row: ExperimentRow) -> Tuple[float, float, int]:
+    """(busiest-shard share, max/mean imbalance, shard count), averaged
+    over the row's repetitions that ingested anything."""
+    shares: List[float] = []
+    imbalances: List[float] = []
+    n_shards = 0
+    for result in row.results:
+        bytes_per = result.ckpt_shard_bytes
+        n_shards = max(n_shards, len(bytes_per))
+        total = sum(bytes_per)
+        if total:
+            shares.append(max(bytes_per) / total)
+            imbalances.append(result.ckpt_shard_imbalance)
+    share = sum(shares) / len(shares) if shares else 0.0
+    imbalance = sum(imbalances) / len(imbalances) if imbalances else 0.0
+    return share, imbalance, n_shards
+
+
+def summarize(result: ExperimentResult) -> List[Dict[str, object]]:
+    """Per-row summary rows for ``BENCH_scale.json`` (deterministic)."""
+    out: List[Dict[str, object]] = []
+    for row in result.rows:
+        share, imbalance, n_shards = _row_shard_stats(row)
+        out.append({
+            "label": row.label,
+            "runs": row.n,
+            "pct_terminated": row.pct_terminated,
+            "mean_exec_time": row.mean_exec_time,
+            "mean_net_mb": row.mean_net_bytes / 1e6,
+            "hotspot_link": row.hotspot_link,
+            "hotspot_share": row.hotspot_share,
+            "n_ckpt_servers": n_shards,
+            "ckpt_busiest_shard_share": share,
+            "ckpt_shard_imbalance": imbalance,
+            "mean_events": (sum(r.events_processed for r in row.results)
+                            / row.n if row.n else 0),
+        })
+    return out
+
+
+def render_shard_balance(result: ExperimentResult) -> str:
+    """The sharding headline: busiest server's share of ckpt ingest."""
+    header = (f"{'config':>18} | {'k':>2} | {'busiest shard':>13} | "
+              f"{'max/mean':>8} | {'net hot link':>14}")
+    lines = ["== checkpoint-server shard balance ==", header,
+             "-" * len(header)]
+    for row in result.rows:
+        share, imbalance, n_shards = _row_shard_stats(row)
+        hot = row.hotspot_link or "-"
+        lines.append(
+            f"{row.label:>18} | {n_shards:>2} | {100.0 * share:>12.1f}% | "
+            f"{imbalance:>8.2f} | {hot:>14}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reps", type=int, default=REPS)
+    parser.add_argument("--protocols", action="append", default=[],
+                        metavar="NAME[,NAME]",
+                        help="protocols to sweep (default: all registered)")
+    parser.add_argument("--ranks", default=None, metavar="N[,N]",
+                        help=f"rank counts (default: "
+                             f"{','.join(map(str, RANKS))})")
+    parser.add_argument("--shards", default=None, metavar="K[,K]",
+                        help=f"checkpoint-server counts (default: "
+                             f"{','.join(map(str, SHARDS))})")
+    parser.add_argument("--topology", default="uniform",
+                        help="fabric model for every cell (uniform, star, "
+                             "twotier; see repro.netmodel)")
+    parser.add_argument("--no-faults", action="store_true",
+                        help="sweep fault-free (no recovery traffic)")
+    parser.add_argument("--quick", action="store_true",
+                        help=f"reduced CI grid: ranks "
+                             f"{','.join(map(str, QUICK_RANKS))} x shards "
+                             f"{','.join(map(str, QUICK_SHARDS))}, 1 rep")
+    parser.add_argument("--json", default="BENCH_scale.json", metavar="PATH",
+                        help="benchmark JSON output path")
+    add_runner_arguments(parser)
+    args = parser.parse_args()
+
+    protos = [p for chunk in args.protocols for p in chunk.split(",") if p]
+    ranks = tuple(int(x) for x in args.ranks.split(",")) if args.ranks \
+        else (QUICK_RANKS if args.quick else RANKS)
+    shards = tuple(int(x) for x in args.shards.split(",")) if args.shards \
+        else (QUICK_SHARDS if args.quick else SHARDS)
+    reps = 1 if args.quick else args.reps
+    runner = runner_from_args(args)
+
+    t0 = time.perf_counter()
+    result = run_experiment(
+        reps=reps, protocol_names=protos or None, ranks=ranks,
+        shards=shards, faulty=not args.no_faults, topology=args.topology,
+        runner=runner)
+    wall = time.perf_counter() - t0
+
+    print(result.render())
+    print()
+    print(render_shard_balance(result))
+    stats = runner.stats
+    print(f"[runner] executed {stats.executed}, cache hits "
+          f"{stats.cache_hits} ({100.0 * stats.hit_rate:.0f}% hit rate), "
+          f"wall {wall:.1f}s")
+    if args.json:
+        doc = {
+            "experiment": "scale-sweep",
+            "reps": reps,
+            "protocols": list(protos or protocols.available()),
+            "ranks": list(ranks),
+            "shards": list(shards),
+            "topology": args.topology,
+            "faulty": not args.no_faults,
+            "rows": summarize(result),
+            "wall_seconds": wall,
+            "executed": stats.executed,
+            "cache_hits": stats.cache_hits,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

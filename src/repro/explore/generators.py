@@ -370,8 +370,10 @@ def _gen_partition_storm(rng, ctx) -> Tuple[FaultPlan, str]:
             services = ()
             what = f"machine {targets[0]}"
         else:
+            from repro.mpichv.shardmap import ckpt_server_node
             targets = ()
-            services = (f"svc{2 + rng.randrange(max(1, ctx.n_ckpt_servers))}",)
+            services = (ckpt_server_node(
+                rng.randrange(max(1, ctx.n_ckpt_servers))),)
             what = f"ckpt server {services[0]}"
         steps.append(TimedPartition(at=at, targets=targets,
                                     services=services))

@@ -11,6 +11,9 @@ Components (mirroring Fig. 2 of the paper):
   ``bug_compat``;
 * :mod:`repro.mpichv.ckptserver` — checkpoint servers with two-slot
   (current / last complete) storage and disk-rate-limited ingestion;
+* :mod:`repro.mpichv.shardmap` — deterministic service placement and
+  checkpoint-server sharding (``rank`` modulo the shard count); the
+  single source of truth for the ``svc*`` node layout;
 * :mod:`repro.mpichv.scheduler` — the checkpoint scheduler emitting a
   marker wave every ``ckpt_period`` seconds, committing waves when all
   ranks acknowledge;

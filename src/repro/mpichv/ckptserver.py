@@ -3,10 +3,13 @@ mechanism").
 
 Each server owns a disk whose bandwidth serializes image ingestion —
 the reason a checkpoint wave takes several seconds and the lever behind
-the Fig. 6 discussion (bigger per-process images at small scale).
-Storage follows the two-file alternation policy: at most the newest two
-waves per rank are kept, and a wave becomes restorable only when the
-scheduler commits it.
+the Fig. 6 discussion (bigger per-process images at small scale).  A
+deployment runs one server per *shard* (``n_ckpt_servers``); ranks are
+assigned to servers by the deterministic shard map in
+:mod:`repro.mpichv.shardmap`, so at scale the ingest load spreads over
+k disks instead of funnelling through one.  Storage follows the
+two-file alternation policy: at most the newest two waves per rank are
+kept, and a wave becomes restorable only when the scheduler commits it.
 """
 
 from __future__ import annotations
@@ -29,6 +32,11 @@ class CkptServerState:
         #: log batches that arrived before their image (the message
         #: connection can outrun the pipelined data connection)
         self._early_logs: Dict[tuple, list] = {}
+        #: shard load accounting: bytes written through this server's
+        #: disk (images + logs), surfaced via
+        #: ``RunResult.ckpt_shard_bytes`` — the Fig. 6 ingest hot
+        #: spot, and how sharding dissolves it
+        self.bytes_ingested: int = 0
 
     def store_image(self, img: CheckpointImage) -> None:
         early = self._early_logs.pop((img.wave, img.rank), None)
@@ -96,6 +104,7 @@ def ckpt_server_main(proc: UnixProcess, config, server_index: int):
 
                 def _stored(img=img, sock=sock):
                     state.store_image(img)
+                    state.bytes_ingested += img.img_size
                     engine.log("ckpt_stored", rank=img.rank, wave=img.wave,
                                server=server_index)
                     if not sock.closed and sock.peer_alive:
@@ -106,6 +115,7 @@ def ckpt_server_main(proc: UnixProcess, config, server_index: int):
 
                 def _logged(msg=msg, sock=sock):
                     state.append_logs(msg.rank, msg.wave, msg.logs)
+                    state.bytes_ingested += msg.size
                     if not sock.closed and sock.peer_alive:
                         sock.send(wire.CkptStoredAck(rank=msg.rank, wave=msg.wave))
 

@@ -71,7 +71,11 @@ class VclConfig:
     n_machines: Optional[int] = None
     #: seconds between checkpoint waves (paper: 30 s)
     ckpt_period: float = 30.0
-    #: number of checkpoint servers (modest, as in MPICH-V deployments)
+    #: number of checkpoint-server shards; ranks are assigned by the
+    #: deterministic shard map (:mod:`repro.mpichv.shardmap`,
+    #: ``rank % k``) so checkpoint ingest spreads over k servers.
+    #: ``k = 1`` is the classic single-server deployment;
+    #: ``k > n_procs`` leaves the surplus servers idle.
     n_ckpt_servers: int = 2
     #: total application memory footprint in bytes (class B model);
     #: per-process image size = footprint / n_procs.
@@ -124,6 +128,8 @@ class VclConfig:
             raise ValueError("need at least n_procs machines")
         if self.n_procs < 1:
             raise ValueError("n_procs must be >= 1")
+        if self.n_ckpt_servers < 1:
+            raise ValueError("need at least one checkpoint server")
         if self.ckpt_period <= 0:
             raise ValueError("ckpt_period must be positive")
         self.topology = TopologySpec.coerce(self.topology)

@@ -33,7 +33,7 @@ from repro.cluster.network import ConnectionRefused
 from repro.cluster.unixproc import UnixProcess
 from repro.mpi.endpoint import LocalDelivery, MpiEndpoint
 from repro.mpi.message import AppMessage
-from repro.mpichv import wire
+from repro.mpichv import shardmap, wire
 from repro.mpichv.checkpoint import CheckpointImage, node_local_store
 from repro.simkernel.store import StoreClosed
 
@@ -191,11 +191,15 @@ class MpichDaemon:
         return sock
 
     def connect_ckpt_server(self):
-        """Generator: dial this rank's (sharded) checkpoint server."""
-        server_idx = self.rank % self.config.n_ckpt_servers
-        self.ckpt_sock = yield from self.connect_service(
-            f"svc{2 + server_idx}",
-            self.config.ckpt_server_port_base + server_idx)
+        """Generator: dial this rank's checkpoint-server shard.
+
+        The shard is a pure function of ``(rank, n_ckpt_servers)``
+        (:func:`repro.mpichv.shardmap.ckpt_shard`), so every
+        incarnation of a rank — including a restart fetching the
+        committed image — dials the same server that stored it.
+        """
+        node, port = shardmap.ckpt_server_for_rank(self.config, self.rank)
+        self.ckpt_sock = yield from self.connect_service(node, port)
         return self.ckpt_sock
 
     # ------------------------------------------------------------------
@@ -323,7 +327,7 @@ def daemon_lifecycle(core_cls, proc: UnixProcess, config, rank: int,
     yield engine.timeout(timing.uniform(engine.random, timing.daemon_startup))
 
     # --- argument exchange with the dispatcher ----------------------------
-    disp_addr = cluster.node("svc0").addr(config.dispatcher_port)
+    disp_addr = cluster.node(shardmap.DISPATCHER_NODE).addr(config.dispatcher_port)
     core.disp_sock = yield from connect_retry(
         proc, disp_addr, timing.connect_retry_initial, timing.connect_retry_max)
     core.disp_sock.send(wire.Register(rank=rank, addr=listener.addr,

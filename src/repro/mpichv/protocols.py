@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
 from repro.registry import Registry
+from repro.mpichv import shardmap
 from repro.mpichv.ckptserver import ckpt_server_main
 from repro.mpichv.channelmemory import channel_memory_main
 from repro.mpichv.daemonbase import daemon_lifecycle
@@ -165,8 +166,9 @@ def check_invariants(runtime) -> List[str]:
 # ---------------------------------------------------------------------------
 
 def _ckpt_servers(config) -> List[ServiceSpec]:
+    """One checkpoint server per shard (placement: repro.mpichv.shardmap)."""
     return [
-        ServiceSpec(name=f"ckptserver.{i}", node=f"svc{2 + i}",
+        ServiceSpec(name=f"ckptserver.{i}", node=shardmap.ckpt_server_node(i),
                     main=(lambda p, i=i: ckpt_server_main(p, config, i)))
         for i in range(config.n_ckpt_servers)
     ]
@@ -174,27 +176,28 @@ def _ckpt_servers(config) -> List[ServiceSpec]:
 
 def _vcl_plan(config) -> List[ServiceSpec]:
     return _ckpt_servers(config) + [
-        ServiceSpec(name="scheduler", node="svc1",
+        ServiceSpec(name="scheduler", node=shardmap.COORDINATOR_NODE,
                     main=lambda p: scheduler_main(p, config)),
     ]
 
 
 def _v2_plan(config) -> List[ServiceSpec]:
-    # uncoordinated checkpoints need no scheduler; the svc1 slot hosts
-    # the stable event logger instead
+    # uncoordinated checkpoints need no scheduler; the coordinator slot
+    # hosts the stable event logger instead
     return _ckpt_servers(config) + [
-        ServiceSpec(name="eventlog", node="svc1",
+        ServiceSpec(name="eventlog", node=shardmap.COORDINATOR_NODE,
                     main=lambda p: eventlog_main(p, config)),
     ]
 
 
 def _v1_plan(config) -> List[ServiceSpec]:
-    # no scheduler and no event logger (svc1 stays idle): the channel
-    # memories are both the transport and the stable log
+    # no scheduler and no event logger (the coordinator node stays
+    # idle): the channel memories are both the transport and the
+    # stable log
     return _ckpt_servers(config) + [
         ServiceSpec(
             name=f"channelmemory.{i}",
-            node=f"svc{2 + config.n_ckpt_servers + i}",
+            node=shardmap.cm_node(config, i),
             main=(lambda p, i=i: channel_memory_main(p, config, i)))
         for i in range(config.n_channel_memories)
     ]

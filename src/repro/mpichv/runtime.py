@@ -1,9 +1,12 @@
 """Top-level wiring: build a cluster, deploy MPICH-V, run an app.
 
 A :class:`VclRuntime` owns one complete deployment (Fig. 2b of the
-paper): compute machines ``m0..m{M-1}``, the dispatcher on ``svc0``,
-the checkpoint scheduler on ``svc1`` and the checkpoint servers on
-``svc2..``.  The runtime is also what the FAIL-MPI platform attaches
+paper, generalized to sharded services): compute machines
+``m0..m{M-1}`` plus the service nodes laid out by
+:mod:`repro.mpichv.shardmap` — the dispatcher, the protocol's
+coordinator (scheduler / event logger), ``n_ckpt_servers``
+checkpoint-server shards, and any protocol extras (channel
+memories).  The runtime is also what the FAIL-MPI platform attaches
 to (it injects faults into the ``vdaemon.*`` processes spawned on the
 compute machines).
 """
@@ -16,10 +19,10 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.analysis.classify import Outcome, RunVerdict, classify_run
 from repro.analysis.traces import Trace
 from repro.cluster.cluster import Cluster
-from repro.mpichv import protocols
+from repro.mpichv import protocols, shardmap
 from repro.mpichv.config import VclConfig
 from repro.mpichv.dispatcher import dispatcher_main
-from repro.simkernel.engine import Engine
+from repro.simkernel.engine import Engine, gc_paused
 
 
 @dataclass
@@ -47,6 +50,19 @@ class RunResult:
     net_messages: int = 0
     net_hotspot: Optional[str] = None
     net_hotspot_bytes: int = 0
+    #: per-shard checkpoint-server ingest (bytes written through each
+    #: server's disk, indexed by shard) — how evenly the shard map
+    #: spreads the Fig. 6 ingest bottleneck over ``n_ckpt_servers``
+    ckpt_shard_bytes: List[int] = field(default_factory=list)
+
+    @property
+    def ckpt_shard_imbalance(self) -> float:
+        """max/mean ingest ratio across shards (1.0 = perfectly even;
+        0.0 when nothing was ingested)."""
+        per_shard = self.ckpt_shard_bytes
+        if not per_shard or not sum(per_shard):
+            return 0.0
+        return max(per_shard) / (sum(per_shard) / len(per_shard))
 
     @property
     def outcome(self) -> Outcome:
@@ -101,7 +117,7 @@ class VclRuntime:
                 proc = self.cluster.node(svc.node).spawn(
                     svc.name, svc.main, notify=False)
                 self.service_procs[svc.name] = proc
-        self.dispatcher_proc = self.cluster.node("svc0").spawn(
+        self.dispatcher_proc = self.cluster.node(shardmap.DISPATCHER_NODE).spawn(
             "dispatcher",
             lambda p: dispatcher_main(p, cfg, self.app_factory, self.machines),
             notify=False)
@@ -146,8 +162,11 @@ class VclRuntime:
         # Stop the engine the moment the application finalizes so the
         # measured execution time is the app_done instant, not whatever
         # cleanup runs afterwards.
-        self.trace.subscribe(
-            lambda rec: self.engine.stop() if rec.kind == "app_done" else None)
+        def _stop_on_done(rec):
+            if rec.kind == "app_done":
+                self.engine.stop()
+
+        self.trace.subscribe(_stop_on_done)
         # Capture the workload's verification checksum live: counters
         # survive keep_trace=False, record fields do not.
         signature: List[Any] = []
@@ -157,13 +176,36 @@ class VclRuntime:
                 signature.append(rec.fields.get("checksum"))
 
         self.trace.subscribe(_capture)
-        self.engine.run(until=timeout)
+        # Large deployments are GC-bound, not CPU-bound: pause the
+        # cyclic collector for the simulation (see
+        # :func:`repro.simkernel.engine.gc_paused` for the policy).
+        # Reclamation of the dead deployment happens via
+        # :meth:`dispose` (cycle breaking), not a blanket collect.
+        try:
+            with gc_paused():
+                self.engine.run(until=timeout)
+        finally:
+            # Remove exactly the wiring this call added — other
+            # subscribers (a caller's observer, FAIL trigger plumbing)
+            # are not ours to drop; dispose() clears those.
+            self.trace.unsubscribe(_stop_on_done)
+            self.trace.unsubscribe(_capture)
 
         verdict = classify_run(self.trace, timeout)
         disp = self.dispatcher_state
         sched = self.scheduler_state
         network = self.cluster.network
         hotspot_link, hotspot_bytes = network.hotspot()
+        # per-shard ingest accounting (service state outlives the procs)
+        shard_bytes = []
+        server_items = sorted(
+            ((name, proc) for name, proc in self.service_procs.items()
+             if name.startswith("ckptserver.")),
+            key=lambda item: int(item[0].split(".")[-1]))
+        for _name, proc in server_items:
+            ckpt_state = proc.tags.get("ckpt_state")
+            shard_bytes.append(int(ckpt_state.bytes_ingested)
+                               if ckpt_state is not None else 0)
         return RunResult(
             verdict=verdict,
             trace=self.trace,
@@ -179,4 +221,32 @@ class VclRuntime:
             net_messages=network.messages_sent,
             net_hotspot=hotspot_link,
             net_hotspot_bytes=hotspot_bytes,
+            ckpt_shard_bytes=shard_bytes,
         )
+
+    # -- teardown ---------------------------------------------------------------
+    def dispose(self) -> None:
+        """Break the finished deployment's reference cycles.
+
+        A 512-rank deployment is hundreds of thousands of
+        process ↔ generator-frame, socket ↔ socket and daemon ↔ process
+        cycles; handing that to ``gc.collect`` costs ~10 s of scanning.
+        Severing the cycle edges explicitly lets plain reference
+        counting reclaim the graph at C speed instead.  After this the
+        runtime is unusable — only the already-built
+        :class:`RunResult` (whose trace was unpinned by :meth:`run`)
+        remains meaningful.  Throughput paths
+        (:meth:`repro.experiments.harness.TrialSetup.run_one`, i.e.
+        every runner/campaign trial) call this; interactive users and
+        tests that inspect runtime state afterwards simply don't.
+        """
+        self.engine.dispose()
+        # Any remaining live wiring (FAIL trigger plumbing, caller
+        # observers) would pin the dead graph through the result's
+        # trace — the runtime is over, so drop it wholesale here.
+        self.trace.clear_listeners()
+        self.cluster.network.dispose()
+        for node in self.cluster.nodes:
+            node.dispose()
+        self.service_procs.clear()
+        self.dispatcher_proc = None

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Set
 
 from repro.cluster.unixproc import UnixProcess
-from repro.mpichv import wire
+from repro.mpichv import shardmap, wire
 from repro.simkernel.store import StoreClosed
 
 
@@ -44,10 +44,11 @@ def scheduler_main(proc: UnixProcess, config):
     dispatcher_sock = [None]
 
     def connect_services():
-        # servers
+        # every checkpoint-server shard: wave commits must reach all of
+        # them, or a shard could serve an uncommitted image on restart
         for i in range(config.n_ckpt_servers):
-            addr = proc.node.cluster.node(f"svc{2 + i}").addr(
-                config.ckpt_server_port_base + i)
+            addr = proc.node.cluster.node(shardmap.ckpt_server_node(i)).addr(
+                shardmap.ckpt_server_port(config, i))
             while True:
                 try:
                     sock = yield proc.node.connect(addr, owner=proc)
@@ -56,7 +57,8 @@ def scheduler_main(proc: UnixProcess, config):
                     yield engine.timeout(0.05)
             server_socks.append(sock)
         # dispatcher (for commit notes)
-        addr = proc.node.cluster.node("svc0").addr(config.dispatcher_port)
+        addr = proc.node.cluster.node(shardmap.DISPATCHER_NODE).addr(
+            config.dispatcher_port)
         while True:
             try:
                 sock = yield proc.node.connect(addr, owner=proc)

@@ -31,7 +31,7 @@ describes, so every snapshot is internally consistent.
 from __future__ import annotations
 
 from repro.mpi.message import AppMessage
-from repro.mpichv import wire
+from repro.mpichv import shardmap, wire
 from repro.mpichv.checkpoint import CheckpointImage
 from repro.mpichv.daemonbase import MpichDaemon, daemon_lifecycle
 from repro.simkernel.store import StoreClosed
@@ -114,8 +114,8 @@ class V1Daemon(MpichDaemon):
         yield from self.connect_ckpt_server()
         for i in range(len(self.cm_socks)):
             self.cm_socks[i] = yield from self.connect_service(
-                f"svc{2 + self.config.n_ckpt_servers + i}",
-                self.config.channel_memory_port_base + i)
+                shardmap.cm_node(self.config, i),
+                shardmap.cm_port(self.config, i))
 
     def restore_state(self, cmd):
         if self.restarted:

@@ -40,7 +40,7 @@ from collections import deque
 from typing import Dict, List, Tuple
 
 from repro.mpi.message import AppMessage
-from repro.mpichv import wire
+from repro.mpichv import shardmap, wire
 from repro.mpichv.checkpoint import CheckpointImage
 from repro.mpichv.daemonbase import (MpichDaemon, connect_retry,
                                      daemon_lifecycle)
@@ -247,7 +247,7 @@ class V2Daemon(MpichDaemon):
     def connect_services(self, cmd):
         yield from self.connect_ckpt_server()
         self.evlog_sock = yield from self.connect_service(
-            "svc1", self.config.eventlog_port)
+            shardmap.COORDINATOR_NODE, self.config.eventlog_port)
 
     def restore_state(self, cmd):
         if self.restarted:

@@ -1,7 +1,8 @@
 """The MPICH-V communication daemon (Vdaemon) running the Vcl protocol.
 
 One daemon process per MPI rank.  It owns every connection of the rank
-(dispatcher, scheduler, checkpoint server, peer mesh), relays
+(dispatcher, scheduler, its checkpoint-server shard — see
+:mod:`repro.mpichv.shardmap` — and the peer mesh), relays
 application messages, and implements the *non-blocking* Chandy-Lamport
 algorithm:
 
@@ -34,7 +35,7 @@ import copy
 from typing import Dict, List, Optional, Set
 
 from repro.mpi.message import AppMessage
-from repro.mpichv import wire
+from repro.mpichv import shardmap, wire
 from repro.mpichv.checkpoint import CheckpointImage, node_local_store
 from repro.mpichv.daemonbase import (MpichDaemon, connect_retry,
                                      daemon_lifecycle)
@@ -287,7 +288,7 @@ class VclDaemon(MpichDaemon):
         if not self.config.fault_tolerant:
             return
         self.sched_sock = yield from self.connect_service(
-            "svc1", self.config.scheduler_port)
+            shardmap.COORDINATOR_NODE, self.config.scheduler_port)
         yield from self.connect_ckpt_server()
 
     def restore_state(self, cmd):

@@ -1,7 +1,9 @@
 """Deterministic discrete-event simulation kernel.
 
 This package is the foundation every other subsystem builds on.  It
-provides a virtual clock, an event heap, coroutine-style simulated
+provides a virtual clock, slotted event dispatch (a heap of distinct
+``(time, priority)`` slots — see :mod:`repro.simkernel.engine` for the
+scale fast path), coroutine-style simulated
 processes (generators that ``yield`` awaitable events), timeouts,
 condition composition (:class:`AnyOf`/:class:`AllOf`), interrupt
 delivery, and simple queues (:class:`Store`).

@@ -136,6 +136,11 @@ class Event:
         for cb in callbacks or ():
             cb(self)
 
+    #: the engine dispatches every slot payload with ``payload()`` —
+    #: aliasing keeps Events and bare callables on one uniform hot
+    #: path (no per-event isinstance)
+    __call__ = _process
+
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         label = self.name or self.__class__.__name__
         state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
@@ -150,7 +155,9 @@ class Timeout(Event):
     def __init__(self, engine, delay: float, value: Any = None, name: Optional[str] = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
-        super().__init__(engine, name=name or f"Timeout({delay})")
+        # no eager f-string label: one Timeout per sleep/transfer makes
+        # this a hot path, and __repr__ falls back to the class name
+        super().__init__(engine, name=name)
         self.delay = delay
         self._triggered = True
         self._value = value

@@ -107,14 +107,16 @@ class Process(Event):
               exc: Optional[BaseException] = None) -> None:
         """Advance the generator by one yield."""
         try:
-            if kind == "start":
+            # event wakeups first: they outnumber start/throw ~10:1
+            if event is not None:
+                if event._exc is None:
+                    target = self.gen.send(event._value)
+                else:
+                    target = self.gen.throw(event.exception)
+            elif kind == "start":
                 target = next(self.gen)
-            elif kind == "throw":
+            else:           # kind == "throw"
                 target = self.gen.throw(exc)
-            elif event is not None and event.ok:
-                target = self.gen.send(event._value)
-            else:
-                target = self.gen.throw(event.exception)
         except StopIteration as stop:
             self._finish_ok(getattr(stop, "value", None))
             return
@@ -165,18 +167,26 @@ class Process(Event):
 
     # -- delivery machinery -------------------------------------------------
     def _deliver(self, item) -> None:
+        # _maybe_dispatch inlined: one delivery per message makes this
+        # the hottest process entry point
         self._inbox.append(item)
-        self._maybe_dispatch()
+        if (self.state in (NEW, RUNNING)
+                and not self._dispatch_scheduled and self._started):
+            self._dispatch_scheduled = True
+            self.engine._enqueue_call(self._dispatch, priority=PRIORITY_URGENT)
 
     def _maybe_dispatch(self) -> None:
-        if (self.alive and self.state != SUSPENDED and self._inbox
+        # ``state in (NEW, RUNNING)`` == alive and not suspended; the
+        # checks are inlined (no property call) — this runs once per
+        # delivered event, the simulator's hottest process path.
+        if (self.state in (NEW, RUNNING) and self._inbox
                 and not self._dispatch_scheduled and self._started):
             self._dispatch_scheduled = True
             self.engine._enqueue_call(self._dispatch, priority=PRIORITY_URGENT)
 
     def _dispatch(self) -> None:
         self._dispatch_scheduled = False
-        if not self.alive or self.state == SUSPENDED or not self._inbox:
+        if self.state not in (NEW, RUNNING) or not self._inbox:
             return
         kind, payload = self._inbox.popleft()
         if kind == "event":
@@ -226,6 +236,17 @@ class Process(Event):
             pass
         if not self.triggered:
             self.succeed(None)
+
+    def dispose(self) -> None:
+        """Break this (finished) process's reference cycles — the
+        generator frame, the waited-on event, queued wakeups — so
+        teardown can reclaim it by refcount (see
+        ``VclRuntime.dispose``).  The process is unusable afterwards."""
+        self.gen = None
+        self._target = None
+        self._target_cb = None
+        self._inbox.clear()
+        self.callbacks = None
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"<Process pid={self.pid} {self.name!r} {self.state}>"

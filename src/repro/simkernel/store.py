@@ -54,7 +54,10 @@ class Store:
 
     def get(self) -> Event:
         """Return an event that yields the next item (or fails Closed)."""
-        ev = self.engine.event(name=f"{self.name}.get")
+        # Direct construction with the store's own name: get() runs
+        # once per message and a per-call f-string label would be pure
+        # allocation overhead on the hot path.
+        ev = Event(self.engine, name=self.name)
         if self.items:
             ev.succeed(self.items.popleft())
         elif self.closed:
@@ -81,6 +84,12 @@ class Store:
             if not getter.triggered:
                 getter.fail(StoreClosed(f"store {self.name!r} closed"))
         self.items.clear()
+
+    def dispose(self) -> None:
+        """Drop buffered items and waiting getters (cycle-bearing refs)
+        without the close() semantics — teardown only."""
+        self.items.clear()
+        self._getters.clear()
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<Store {self.name!r} items={len(self.items)} "

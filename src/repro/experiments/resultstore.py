@@ -35,7 +35,7 @@ from repro.analysis.traces import Trace, TraceRecord
 from repro.mpichv.runtime import RunResult
 
 #: bump when the document layout changes; readers reject other versions
-FORMAT_VERSION = 4    # 4: per-shard checkpoint ingest (ckpt_shard_bytes)
+FORMAT_VERSION = 5    # 5: coverage signature (hex bitmap) on every result
 
 
 def _json_safe(value: Any) -> Any:
@@ -95,6 +95,7 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
         "net_hotspot": result.net_hotspot,
         "net_hotspot_bytes": result.net_hotspot_bytes,
         "ckpt_shard_bytes": list(result.ckpt_shard_bytes),
+        "coverage": result.coverage,
     }
 
 
@@ -127,6 +128,7 @@ def run_result_from_dict(doc: Dict[str, Any]) -> RunResult:
         net_hotspot=doc.get("net_hotspot"),
         net_hotspot_bytes=int(doc.get("net_hotspot_bytes", 0)),
         ckpt_shard_bytes=[int(b) for b in doc.get("ckpt_shard_bytes", [])],
+        coverage=str(doc.get("coverage", "")),
     )
 
 

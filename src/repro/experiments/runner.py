@@ -47,9 +47,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 
 #: bump to invalidate every existing cache entry (key derivation or
 #: simulation semantics changed)
-CACHE_VERSION = 5        # 5: checkpoint-server sharding — results carry
-#                          per-shard ingest accounting
-#                          (ckpt_shard_bytes), result format 4
+CACHE_VERSION = 6        # 6: coverage-guided exploration — results
+#                          carry a per-trial coverage signature
+#                          (RunResult.coverage), result format 5
 
 
 def trial_key(setup: "TrialSetup", seed: int) -> str:

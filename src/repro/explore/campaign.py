@@ -21,6 +21,8 @@ import argparse
 import hashlib
 import json
 import os
+import random
+import sys
 import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
@@ -28,11 +30,15 @@ from typing import Dict, List, Optional, Tuple
 from repro.experiments.harness import TrialSetup
 from repro.experiments.runner import (TrialRunner, add_runner_arguments,
                                       runner_from_args)
+import repro.analysis.coverage as coveragelib
 import repro.explore.shrink as shrinklib
 from repro.explore import generators
 from repro.explore.generators import (GeneratedScenario, GeneratorContext,
                                       render_plan)
-from repro.explore.oracles import (OracleReport, failed_names, run_oracles)
+from repro.explore.corpus import Corpus, CorpusEntry, default_corpus_dir
+from repro.explore.mutate import mutate
+from repro.explore.oracles import (OracleReport, coverage_labels,
+                                   failed_names, run_oracles)
 from repro.mpichv import protocols
 from repro.mpichv.runtime import RunResult
 from repro.workloads import available_workloads
@@ -76,6 +82,9 @@ class ExploreConfig:
     #: candidate-trial budget per shrink, and how many failures to shrink
     shrink_budget: int = 48
     max_shrinks: int = 4
+    #: candidate-trial budget for minimize-on-admit in the guided loop
+    #: (kept small: corpus plans only need to be *lean*, not minimal)
+    corpus_shrink_budget: int = 12
 
     def resolved_protocols(self) -> Tuple[str, ...]:
         return tuple(self.protocols) or tuple(protocols.available())
@@ -162,6 +171,15 @@ class Verdict:
     def failed(self) -> List[str]:
         return failed_names(self.oracles)
 
+    def signature(self) -> coveragelib.Signature:
+        """The trial's full coverage signature: the runtime's probe
+        bitmap (``RunResult.coverage``) OR-ed with the oracle-branch
+        and invariant-violation labels — the novelty signal of the
+        guided explorer."""
+        return (coveragelib.Signature.from_hex(self.result.coverage)
+                | coveragelib.Signature.from_labels(
+                    coverage_labels(self.oracles, self.result)))
+
     def sort_key(self):
         return (self.scenario.family, self.scenario.index, self.protocol,
                 self.workload)
@@ -181,7 +199,8 @@ class Verdict:
             "failures_detected": self.result.failures_detected,
             "restarts": self.result.restarts,
             "app_signature": self.result.app_signature,
-            "oracles": {r.name: {"passed": r.passed, "detail": r.detail}
+            "oracles": {r.name: {"passed": r.passed, "detail": r.detail,
+                                 "branch": r.branch}
                         for r in self.oracles},
             "failed": self.failed,
         }
@@ -212,6 +231,52 @@ class ShrinkReport:
 
 
 @dataclass
+class GuidedStats:
+    """What the greybox loop did with its budget (all deterministic)."""
+
+    corpus_dir: str
+    corpus_size_start: int
+    corpus_size_end: int
+    edges_start: int
+    edges_end: int
+    #: trial index (1-based) of every novel-coverage admission
+    admit_trials: List[int]
+    replayed: int
+    seeded: int
+    mutants: int
+    first_failure_trial: Optional[int]
+    baseline_first_failure_trial: Optional[int]
+
+    @property
+    def novel_admits(self) -> int:
+        return len(self.admit_trials)
+
+    def trials_to_novelty(self, total_trials: int) -> Optional[float]:
+        """Mean trials spent per novel admission (search efficiency)."""
+        if not self.admit_trials:
+            return None
+        return total_trials / len(self.admit_trials)
+
+    def to_dict(self, total_trials: int) -> Dict[str, object]:
+        return {
+            "corpus_dir": self.corpus_dir,
+            "corpus_size_start": self.corpus_size_start,
+            "corpus_size_end": self.corpus_size_end,
+            "edges_start": self.edges_start,
+            "edges_end": self.edges_end,
+            "novel_admits": self.novel_admits,
+            "admit_trials": list(self.admit_trials),
+            "trials_to_novelty": self.trials_to_novelty(total_trials),
+            "replayed": self.replayed,
+            "seeded": self.seeded,
+            "mutants": self.mutants,
+            "first_failure_trial": self.first_failure_trial,
+            "baseline_first_failure_trial":
+                self.baseline_first_failure_trial,
+        }
+
+
+@dataclass
 class CampaignResult:
     config: ExploreConfig
     rows: List[Verdict]
@@ -220,6 +285,8 @@ class CampaignResult:
     executed: int
     cache_hits: int
     wall_seconds: float
+    #: present on guided (--guided) campaigns only
+    guided: Optional[GuidedStats] = None
 
     @property
     def failures(self) -> List[Verdict]:
@@ -260,6 +327,18 @@ class CampaignResult:
             lines.append(f"oracle {name:>22}: {100.0 * rate:6.1f} % pass")
         for family, count in sorted(self.family_counts().items()):
             lines.append(f"family {family:>22}: {count} trial(s)")
+        if self.guided is not None:
+            g = self.guided
+            lines.append(
+                f"guided: corpus {g.corpus_size_start} -> "
+                f"{g.corpus_size_end} entries, edges {g.edges_start} -> "
+                f"{g.edges_end}, {g.novel_admits} admits "
+                f"({g.replayed} replayed, {g.seeded} seeded, "
+                f"{g.mutants} mutants)")
+            if g.first_failure_trial is not None:
+                lines.append(
+                    f"guided: first unexcused failure at trial "
+                    f"{g.first_failure_trial}")
         lines.append(f"failures: {len(self.failures)}")
         for report in self.shrinks:
             lines.append(
@@ -283,6 +362,8 @@ class CampaignResult:
             "family_counts": self.family_counts(),
             "failures": len(self.failures),
             "shrinks": [s.to_dict() for s in self.shrinks],
+            "guided": (self.guided.to_dict(len(self.rows))
+                       if self.guided is not None else None),
         }
 
     def bench_json(self) -> Dict[str, object]:
@@ -302,6 +383,8 @@ class CampaignResult:
             "cache_hits": self.cache_hits,
             "oracle_pass_rates": self.oracle_pass_rates(),
             "shrink_steps": [s.to_dict() for s in self.shrinks],
+            "guided": (self.guided.to_dict(len(self.rows))
+                       if self.guided is not None else None),
         }
 
 
@@ -425,6 +508,237 @@ def _shrink_failures(cfg: ExploreConfig, rows: List[Verdict],
 
 
 # ---------------------------------------------------------------------------
+# the guided (greybox) driver
+# ---------------------------------------------------------------------------
+
+def _guided_scenario(cfg: ExploreConfig, plan,
+                     description: str) -> GeneratedScenario:
+    """Wrap a plan for a guided trial with digest-only identity.
+
+    The scenario id is a pure function of the plan (no trial counter,
+    no campaign seed), so re-running the same plan — in this campaign,
+    the next one, or a corpus replay — reconstructs a byte-identical
+    :class:`TrialSetup` and lands on the same trial-cache key.
+    """
+    digest = generators.plan_digest(plan, cfg.n_machines)
+    return GeneratedScenario(
+        family=f"g{digest[:10]}", index=0, seed=0, plan=plan,
+        n_machines=cfg.n_machines, source=render_plan(plan),
+        description=description)
+
+
+def _guided_seed(cfg: ExploreConfig, scenario: GeneratedScenario,
+                 protocol: str, workload: str) -> int:
+    return derive_seed(cfg.seed, "guided", scenario.family, protocol,
+                       workload)
+
+
+def _evaluate(cfg: ExploreConfig, runner: TrialRunner,
+              goldens: Dict[Tuple[str, str], RunResult],
+              scenario: GeneratedScenario, protocol: str, workload: str,
+              trial_seed: int) -> Verdict:
+    """Run (or load) one fault trial and judge it."""
+    setup = scenario_setup(cfg, scenario, workload, protocol)
+    result = runner.run_jobs([(setup, trial_seed)])[0]
+    return Verdict(
+        scenario=scenario, protocol=protocol, workload=workload,
+        trial_seed=trial_seed, result=result,
+        oracles=run_oracles(result, goldens[(protocol, workload)],
+                            plan=scenario.plan, protocol=protocol))
+
+
+def _minimize_for_corpus(cfg: ExploreConfig, runner: TrialRunner,
+                         goldens: Dict[Tuple[str, str], RunResult],
+                         verdict: Verdict,
+                         mask: "coveragelib.Signature") -> Verdict:
+    """Minimize-on-admit: shrink the plan while it keeps ``mask``.
+
+    Reuses the delta-debugging shrinker with "still hits every novel
+    coverage bit" as the predicate (machine count pinned — corpus
+    plans must all fit the campaign deployment).  Returns the verdict
+    of the reduced plan, so the corpus entry's signature and failure
+    flags describe what was actually admitted.
+    """
+    plan = verdict.scenario.plan
+    if len(plan) <= 1 or cfg.corpus_shrink_budget <= 0:
+        return verdict
+    protocol, workload = verdict.protocol, verdict.workload
+
+    def keeps_novelty(candidate, _n_machines):
+        scenario = _guided_scenario(cfg, candidate, "corpus minimization")
+        v = _evaluate(cfg, runner, goldens, scenario, protocol, workload,
+                      _guided_seed(cfg, scenario, protocol, workload))
+        return v.signature().covers(mask)
+
+    outcome = shrinklib.shrink(
+        plan, cfg.n_machines, still_fails=keeps_novelty,
+        min_machines=cfg.n_machines, budget=cfg.corpus_shrink_budget)
+    if outcome.plan == plan:
+        return verdict
+    scenario = _guided_scenario(cfg, outcome.plan,
+                                f"minimized: {verdict.scenario.description}")
+    return _evaluate(cfg, runner, goldens, scenario, protocol, workload,
+                     _guided_seed(cfg, scenario, protocol, workload))
+
+
+def seeded_first_failure(cfg: ExploreConfig, runner: TrialRunner,
+                         goldens: Dict[Tuple[str, str], RunResult],
+                         cap: int) -> Optional[int]:
+    """Trials the *seeded* families need to hit an unexcused failure.
+
+    Walks the canonical campaign order (scenario index outermost, then
+    sorted families × protocols × workloads — exactly the stream
+    ``run_campaign`` would execute) and returns the 1-based trial count
+    at the first oracle failure, or None within ``cap`` trials.  Seeds
+    and scenario identity match the seeded campaign, so against a
+    shared cache this baseline costs almost nothing.
+    """
+    families = cfg.resolved_families()
+    protos = cfg.resolved_protocols()
+    workloads = cfg.resolved_workloads()
+    ctx = cfg.generator_context()
+    trial = 0
+    for index in range(max(1, cap)):
+        for family in families:
+            for protocol in protos:
+                for workload in workloads:
+                    scenario = generators.generate(family, index, cfg.seed,
+                                                   ctx)
+                    seed = derive_seed(cfg.seed, family, index, protocol,
+                                       workload)
+                    trial += 1
+                    verdict = _evaluate(cfg, runner, goldens, scenario,
+                                        protocol, workload, seed)
+                    if verdict.failed:
+                        return trial
+                    if trial >= cap:
+                        return None
+    return None
+
+
+def run_guided(cfg: ExploreConfig,
+               runner: Optional[TrialRunner] = None,
+               out_dir: Optional[str] = None,
+               corpus_dir: Optional[str] = None) -> CampaignResult:
+    """The coverage-guided campaign: replay → seed → mutate.
+
+    The greybox loop spends ``cfg.budget`` fault trials:
+
+    1. **replay** the persisted corpus (failing entries first) — on a
+       second run this re-establishes the accumulated coverage mostly
+       from cache and surfaces known failures immediately;
+    2. **seed** fresh scenarios from the generator families
+       (round-robin) while the corpus is thin;
+    3. **mutate** corpus plans (:mod:`repro.explore.mutate`), admitting
+       every trial whose signature lights up bits the corpus lacks —
+       minimized on admit via the shrinker.
+
+    A seeded-family baseline (same budget cap, same cache) runs after
+    the loop so the benchmark JSON can state both trials-to-first-
+    failure counts side by side.
+    """
+    t0 = time.perf_counter()
+    runner = runner or TrialRunner()
+    before = runner.stats.snapshot()
+    corpus = Corpus(corpus_dir or
+                    default_corpus_dir(None, out_dir or "explore_out"))
+    size_start, edges_start = len(corpus), corpus.accumulated.popcount
+
+    families = cfg.resolved_families()
+    protos = cfg.resolved_protocols()
+    workloads = cfg.resolved_workloads()
+    ctx = cfg.generator_context()
+    cells = [(p, w) for p in protos for w in workloads]
+    goldens = dict(zip(cells, runner.run_jobs([
+        (golden_setup(cfg, w, p), derive_seed(cfg.seed, "golden", p, w))
+        for p, w in cells])))
+
+    rows: List[Verdict] = []
+    admit_trials: List[int] = []
+    first_failure: Optional[int] = None
+    replayed = seeded = mutants = 0
+    tried: set = set()
+    rng = random.Random(f"explore-guided:{cfg.seed}")
+
+    def consider(verdict: Verdict) -> None:
+        """Account one finished trial; admit it if coverage is novel."""
+        nonlocal first_failure
+        rows.append(verdict)
+        trial = len(rows)
+        tried.add(verdict.scenario.family)
+        if verdict.failed and first_failure is None:
+            first_failure = trial
+        sig = verdict.signature()
+        mask = sig.minus(corpus.accumulated)
+        if not mask:
+            return
+        lean = _minimize_for_corpus(cfg, runner, goldens, verdict, mask)
+        if corpus.admit(CorpusEntry(
+                seq=0, plan=lean.scenario.plan, signature=lean.signature(),
+                family=lean.scenario.family, protocol=lean.protocol,
+                workload=lean.workload, trial_seed=lean.trial_seed,
+                description=lean.scenario.description,
+                failed=lean.failed)):
+            admit_trials.append(trial)
+
+    # 1. replay the persisted corpus (crashers first), budget-capped
+    for entry in corpus.entries():
+        if len(rows) >= cfg.budget:
+            break
+        if (entry.protocol, entry.workload) not in goldens:
+            continue
+        scenario = _guided_scenario(cfg, entry.plan, entry.description)
+        consider(_evaluate(cfg, runner, goldens, scenario, entry.protocol,
+                           entry.workload, entry.trial_seed))
+        replayed += 1
+
+    # 2./3. the search loop: seed while thin, mutate once fed
+    seeded_next = 0
+    while len(rows) < cfg.budget:
+        protocol, workload = cells[len(rows) % len(cells)]
+        use_seed = not corpus.plans() or rng.random() < 0.25
+        if use_seed:
+            family = families[seeded_next % len(families)]
+            index = seeded_next // len(families)
+            seeded_next += 1
+            scenario = generators.generate(family, index, cfg.seed, ctx)
+            scenario = _guided_scenario(
+                cfg, scenario.plan,
+                f"seeded {family}[{index}]: {scenario.description}")
+            seeded += 1
+        else:
+            donors = corpus.plans()
+            parent = donors[rng.randrange(len(donors))]
+            plan = mutate(parent, rng, ctx, donors=donors)
+            for _ in range(4):      # skip mutants already scheduled
+                scenario = _guided_scenario(cfg, plan, "mutant")
+                if scenario.family not in tried:
+                    break
+                plan = mutate(plan, rng, ctx, donors=donors)
+            scenario = _guided_scenario(cfg, plan, "mutant")
+            mutants += 1
+        consider(_evaluate(cfg, runner, goldens, scenario, protocol,
+                           workload,
+                           _guided_seed(cfg, scenario, protocol, workload)))
+
+    baseline = seeded_first_failure(cfg, runner, goldens, cap=cfg.budget)
+    shrinks = _shrink_failures(cfg, rows, goldens, runner, out_dir)
+    executed, hits = runner.stats.snapshot()
+    return CampaignResult(
+        config=cfg, rows=rows, goldens=goldens, shrinks=shrinks,
+        executed=executed - before[0], cache_hits=hits - before[1],
+        wall_seconds=time.perf_counter() - t0,
+        guided=GuidedStats(
+            corpus_dir=corpus.root,
+            corpus_size_start=size_start, corpus_size_end=len(corpus),
+            edges_start=edges_start,
+            edges_end=corpus.accumulated.popcount,
+            admit_trials=admit_trials, replayed=replayed, seeded=seeded,
+            mutants=mutants, first_failure_trial=first_failure,
+            baseline_first_failure_trial=baseline))
+
+
+# ---------------------------------------------------------------------------
 # replay: re-run one (possibly shrunk) .fail scenario
 # ---------------------------------------------------------------------------
 
@@ -509,6 +823,17 @@ def main() -> None:  # pragma: no cover - CLI
                              "(uniform/star/twotier; see repro.netmodel)")
     parser.add_argument("--max-shrinks", type=int, default=4)
     parser.add_argument("--shrink-budget", type=int, default=48)
+    parser.add_argument("--guided", action="store_true",
+                        help="coverage-guided greybox campaign: replay the "
+                             "persisted corpus, then mutate plans that hit "
+                             "novel coverage")
+    parser.add_argument("--corpus-dir", default=None, metavar="DIR",
+                        help="corpus location for --guided (default: "
+                             "<cache-dir>/corpus)")
+    parser.add_argument("--self-check", action="store_true",
+                        help="run the campaign twice in-process and fail "
+                             "unless both outputs are byte-identical "
+                             "(the determinism contract)")
     parser.add_argument("--out", default="explore_out", metavar="DIR",
                         help="verdict/shrink output directory")
     parser.add_argument("--json", default="BENCH_explore.json",
@@ -531,6 +856,13 @@ def main() -> None:  # pragma: no cover - CLI
         n_procs=args.procs, n_machines=args.machines, timeout=args.timeout,
         bug_compat=args.bug_compat, config_overrides=overrides,
         max_shrinks=args.max_shrinks, shrink_budget=args.shrink_budget)
+    if args.self_check and args.guided:
+        parser.error("--self-check needs a seeded campaign: the guided "
+                     "loop mutates corpus state between runs")
+    if args.guided and args.cache_dir is None and not args.no_cache:
+        # guided exploration without a cache forfeits both cheap corpus
+        # replay and the shared-baseline comparison; default one in
+        args.cache_dir = os.path.join(args.out, "cache")
     runner = runner_from_args(args)
 
     if args.replay is not None:
@@ -552,7 +884,29 @@ def main() -> None:  # pragma: no cover - CLI
         cfg = quick_config(**common)
     else:
         cfg = ExploreConfig(budget=args.budget, **common)
-    result = run_campaign(cfg, runner=runner, out_dir=args.out)
+    if args.guided:
+        corpus_dir = args.corpus_dir or default_corpus_dir(
+            getattr(args, "cache_dir", None), args.out)
+        result = run_guided(cfg, runner=runner, out_dir=args.out,
+                            corpus_dir=corpus_dir)
+        g = result.guided
+        print(f"[guided] corpus {g.corpus_size_start} -> "
+              f"{g.corpus_size_end} entries at {g.corpus_dir}")
+    else:
+        result = run_campaign(cfg, runner=runner, out_dir=args.out)
+    if args.self_check:
+        second = run_campaign(cfg, runner=runner_from_args(args),
+                              out_dir=args.out)
+        first_doc = json.dumps(result.to_json(), sort_keys=True)
+        second_doc = json.dumps(second.to_json(), sort_keys=True)
+        if (second.render_table() != result.render_table()
+                or first_doc != second_doc):
+            print("self-check FAILED: two runs of the same campaign "
+                  "disagree — the determinism contract is broken",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        print("self-check ok: verdict table and JSON byte-identical "
+              "across two runs")
 
     table = result.render_table()
     print(table, end="")

@@ -145,6 +145,52 @@ def plan_digest(plan: FaultPlan, n_machines: int) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
 
 
+def plan_to_doc(plan: FaultPlan) -> List[Dict[str, object]]:
+    """JSON-safe document form of a plan (corpus persistence)."""
+    doc: List[Dict[str, object]] = []
+    for step in plan:
+        if isinstance(step, TimedKill):
+            doc.append({"step": "kill", "at": step.at,
+                        "target": step.target})
+        elif isinstance(step, RekillRace):
+            doc.append({"step": "rekill", "target": step.target})
+        elif isinstance(step, KillReporter):
+            doc.append({"step": "kill_reporter"})
+        elif isinstance(step, TimedPartition):
+            doc.append({"step": "partition", "at": step.at,
+                        "targets": list(step.targets),
+                        "services": list(step.services)})
+        elif isinstance(step, Heal):
+            doc.append({"step": "heal", "after": step.after})
+        else:  # pragma: no cover - Step union is closed
+            raise TypeError(f"unknown plan step {step!r}")
+    return doc
+
+
+def plan_from_doc(doc: Sequence[Dict[str, object]]) -> FaultPlan:
+    """Inverse of :func:`plan_to_doc`."""
+    steps: List[Step] = []
+    for entry in doc:
+        kind = entry["step"]
+        if kind == "kill":
+            steps.append(TimedKill(at=int(entry["at"]),
+                                   target=int(entry["target"])))
+        elif kind == "rekill":
+            steps.append(RekillRace(target=int(entry["target"])))
+        elif kind == "kill_reporter":
+            steps.append(KillReporter())
+        elif kind == "partition":
+            steps.append(TimedPartition(
+                at=int(entry["at"]),
+                targets=tuple(int(t) for t in entry["targets"]),
+                services=tuple(str(s) for s in entry["services"])))
+        elif kind == "heal":
+            steps.append(Heal(after=int(entry["after"])))
+        else:
+            raise ValueError(f"unknown plan-step kind {kind!r}")
+    return tuple(steps)
+
+
 # ---------------------------------------------------------------------------
 # plan -> FAIL source
 # ---------------------------------------------------------------------------

@@ -50,6 +50,7 @@ live, pooled and cache-loaded results.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -101,6 +102,12 @@ class OracleReport:
     name: str
     passed: bool
     detail: str
+    #: which branch of the oracle produced this verdict — a short
+    #: stable tag ("ok", "fail", "excused_unhealed", ...) that feeds
+    #: the coverage signature: an *excused* stall is different
+    #: behaviour than a clean pass, and the guided explorer must see
+    #: the difference to search its way out of the excuse region.
+    branch: str = "ok"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetics
         flag = "ok" if self.passed else "FAIL"
@@ -128,13 +135,16 @@ def _no_deadlock(ctx: OracleContext) -> OracleReport:
                 return OracleReport(
                     name, True,
                     "excused: frozen behind a permanently cut link — "
-                    "recovery cannot cross an unhealed partition")
+                    "recovery cannot cross an unhealed partition",
+                    branch="excused_unhealed")
             if _false_suspicions(ctx) > 0:
                 return OracleReport(
                     name, True,
                     "excused: frozen after partition-induced false "
-                    "failure suspicion (documented substitution)")
-        return OracleReport(name, False, result.verdict.reason)
+                    "failure suspicion (documented substitution)",
+                    branch="excused_false_suspicion")
+        return OracleReport(name, False, result.verdict.reason,
+                            branch="fail")
     return OracleReport(name, True, str(result.outcome))
 
 
@@ -144,16 +154,20 @@ def _golden_result(ctx: OracleContext) -> OracleReport:
     if golden is None or golden.outcome is not Outcome.TERMINATED \
             or golden.app_signature is None:
         return OracleReport(name, False,
-                            "no valid golden run for this configuration")
+                            "no valid golden run for this configuration",
+                            branch="no_golden")
     if result.outcome is not Outcome.TERMINATED:
-        return OracleReport(name, True, "n/a (run did not terminate)")
+        return OracleReport(name, True, "n/a (run did not terminate)",
+                            branch="not_terminated")
     if result.app_signature is None:
         return OracleReport(name, False,
-                            "terminated without workload verification")
+                            "terminated without workload verification",
+                            branch="missing_checksum")
     if result.app_signature != golden.app_signature:
         return OracleReport(
             name, False, f"checksum {result.app_signature} != golden "
-                         f"{golden.app_signature}")
+                         f"{golden.app_signature}",
+            branch="checksum_mismatch")
     return OracleReport(name, True, f"checksum {result.app_signature}")
 
 
@@ -180,13 +194,15 @@ def _progress(ctx: OracleContext) -> OracleReport:
                 name, True,
                 "excused: a machine or service stays partitioned forever "
                 "— neither the application nor its recovery can finish "
-                "across a permanently cut link")
+                "across a permanently cut link",
+                branch="excused_unhealed")
         if _false_suspicions(ctx) > 0:
             return OracleReport(
                 name, True,
                 "excused: partition-induced false failure suspicion "
                 "(socket closure != death); the restart wave collides "
-                "with the zombie daemon still holding the mesh port")
+                "with the zombie daemon still holding the mesh port",
+                branch="excused_false_suspicion")
     if ctx.plan is not None and ctx.protocol is not None:
         tolerance = protocols.get_spec(ctx.protocol).simultaneous_tolerance
         concurrent = max_concurrent_failures(ctx.plan)
@@ -194,25 +210,29 @@ def _progress(ctx: OracleContext) -> OracleReport:
             return OracleReport(
                 name, True,
                 f"excused: up to {concurrent} concurrent faults exceed "
-                f"the protocol's documented tolerance of {tolerance}")
+                f"the protocol's documented tolerance of {tolerance}",
+                branch="excused_tolerance")
     return OracleReport(
         name, False,
         "finite fault plan but the run never finished "
         f"({result.failures_detected} failures detected, last activity "
-        f"t={result.verdict.last_activity:.1f})")
+        f"t={result.verdict.last_activity:.1f})",
+        branch="fail")
 
 
 def _false_suspicion(ctx: OracleContext) -> OracleReport:
     """Excuse or flag protocol behaviour under false failure suspicion."""
     name = "false_suspicion"
     if ctx.plan is None or not partition_steps(ctx.plan):
-        return OracleReport(name, True, "n/a (no partitions planned)")
+        return OracleReport(name, True, "n/a (no partitions planned)",
+                            branch="no_partitions")
     extra = _false_suspicions(ctx)
     if extra == 0:
         return OracleReport(
             name, True,
             "no false suspicion (partitions healed before detection or "
-            "never crossed a live connection)")
+            "never crossed a live connection)",
+            branch="none")
     result = ctx.result
     if result.outcome is Outcome.TERMINATED:
         golden = ctx.golden
@@ -221,26 +241,31 @@ def _false_suspicion(ctx: OracleContext) -> OracleReport:
             return OracleReport(
                 name, True,
                 f"recovered from {extra} false suspicion(s) with the "
-                f"golden checksum")
+                f"golden checksum",
+                branch="recovered")
         return OracleReport(
             name, False,
             f"terminated after {extra} false suspicion(s) with a wrong "
-            f"or missing checksum — corruption under false suspicion")
+            f"or missing checksum — corruption under false suspicion",
+            branch="corruption")
     if result.outcome is Outcome.NON_TERMINATING:
         return OracleReport(
             name, True,
             f"excused: {extra} false suspicion(s) — the socket-closure "
             f"detector cannot distinguish a partition from a death "
             f"(documented substitution), and the relaunch loops on the "
-            f"zombie daemon's mesh port")
+            f"zombie daemon's mesh port",
+            branch="excused_stall")
     if has_unhealed_partition(ctx.plan):
         return OracleReport(
             name, True,
             f"excused: {extra} false suspicion(s) with the partition "
-            f"never healed — the freeze is the cut link's doing")
+            f"never healed — the freeze is the cut link's doing",
+            branch="excused_unhealed")
     return OracleReport(
         name, False,
-        f"deadlock after {extra} false suspicion(s)")
+        f"deadlock after {extra} false suspicion(s)",
+        branch="fail_deadlock")
 
 
 def _protocol_invariants(ctx: OracleContext) -> OracleReport:
@@ -248,7 +273,8 @@ def _protocol_invariants(ctx: OracleContext) -> OracleReport:
     name = "protocol_invariants"
     if result.invariant_violations:
         return OracleReport(name, False,
-                            "; ".join(result.invariant_violations))
+                            "; ".join(result.invariant_violations),
+                            branch="fail")
     return OracleReport(name, True, "all protocol invariants held")
 
 
@@ -277,3 +303,21 @@ def run_oracles(result: RunResult, golden: Optional[RunResult],
 
 def failed_names(reports: List[OracleReport]) -> List[str]:
     return [r.name for r in reports if not r.passed]
+
+
+def coverage_labels(reports: List[OracleReport],
+                    result: Optional[RunResult] = None) -> List[str]:
+    """Coverage-signature labels for one trial's oracle verdicts.
+
+    One label per oracle *branch* (``oracle.progress.excused_unhealed``
+    is a different behaviour than ``oracle.progress.ok``) plus one per
+    distinct invariant violation (hashed — the violation text embeds
+    ranks and counters, so the hash keys the violation *kind* site
+    without exploding the label space).
+    """
+    labels = [f"oracle.{r.name}.{r.branch}" for r in reports]
+    if result is not None:
+        for violation in result.invariant_violations:
+            digest = hashlib.sha256(violation.encode("utf-8")).hexdigest()
+            labels.append(f"invariant.{digest[:8]}")
+    return labels

@@ -29,6 +29,7 @@ from __future__ import annotations
 import copy
 from typing import Any, Callable, Dict, Iterable, Optional
 
+from repro.analysis.coverage import hit_bucket
 from repro.cluster.network import ConnectionRefused
 from repro.cluster.unixproc import UnixProcess
 from repro.mpi.endpoint import LocalDelivery, MpiEndpoint
@@ -52,6 +53,7 @@ def connect_retry(proc: UnixProcess, addr, backoff_initial: float,
             sock = yield proc.node.connect(addr, owner=proc)
             return sock
         except ConnectionRefused:
+            proc.engine.cover("daemon.connect.refused")
             yield proc.engine.timeout(delay)
             delay = min(delay * 2, backoff_max)
     return None
@@ -246,6 +248,7 @@ class MpichDaemon:
         waves = local.waves_for(self.rank)
         img = local.load(self.rank, waves[-1]) if waves else None
         if img is not None and img.complete:
+            self.engine.cover("daemon.restore.local")
             yield self.engine.timeout(img.img_size / self.timing.local_disk_bw)
             img = img.snapshot_of()
         else:
@@ -253,7 +256,9 @@ class MpichDaemon:
             resp = yield self.ckpt_sock.recv()
             assert isinstance(resp, wire.FetchResp), resp
             if resp.wave is None:
+                self.engine.cover("daemon.restore.fresh")
                 return          # nothing stored: fresh start
+            self.engine.cover("daemon.restore.remote")
             img = CheckpointImage(rank=self.rank, wave=resp.wave,
                                   state=copy.deepcopy(resp.state),
                                   logs=[], img_size=resp.img_size)
@@ -274,9 +279,11 @@ class MpichDaemon:
             except StoreClosed:
                 return      # dispatcher gone: experiment is over
             if isinstance(msg, wire.Terminate):
+                self.engine.cover("daemon.terminate_order")
                 self.terminating = True
                 self.proc.spawn_thread(self._terminator(), name="terminator")
             elif isinstance(msg, wire.Shutdown):
+                self.engine.cover("daemon.shutdown_order")
                 self.proc.exit()
                 return
 
@@ -304,6 +311,11 @@ def daemon_lifecycle(core_cls, proc: UnixProcess, config, rank: int,
     proc.tags["vcl"] = core        # FAIL_READ inspects app state here
     proc.tags[core.protocol] = core
     name = core.protocol
+    if incarnation > 1:
+        # a restarted rank: the recovery path itself is coverage
+        engine.cover(f"daemon.restarted.x{hit_bucket(incarnation - 1)}")
+    if epoch > 0:
+        engine.cover("daemon.launched_in_restart_epoch")
 
     # Bind the mesh listener before anything else so peers never race us.
     listener = proc.node.listen(config.daemon_port_base + rank, owner=proc)
@@ -335,6 +347,7 @@ def daemon_lifecycle(core_cls, proc: UnixProcess, config, rank: int,
     try:
         ack = yield core.disp_sock.recv()
     except StoreClosed:
+        engine.cover("daemon.register_closed")
         proc.abort()
         return
     assert isinstance(ack, wire.RegisterAck), ack
@@ -346,17 +359,20 @@ def daemon_lifecycle(core_cls, proc: UnixProcess, config, rank: int,
     try:
         cmd = yield core.disp_sock.recv()
     except StoreClosed:
+        engine.cover("daemon.cmdmap_closed")
         proc.abort()
         return
     if isinstance(cmd, wire.Terminate):
         # Uniform termination semantics: cleanup delay, then the socket
         # closure acknowledges — identical for every protocol.
+        engine.cover("daemon.terminate_before_cmdmap")
         core.terminating = True
         yield engine.timeout(
             timing.uniform(engine.random, timing.terminate_cleanup))
         proc.exit()
         return
     if isinstance(cmd, wire.Shutdown):
+        engine.cover("daemon.shutdown_before_cmdmap")
         proc.exit()
         return
     assert isinstance(cmd, wire.CommandMap), cmd

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set
 
+from repro.analysis.coverage import hit_bucket
 from repro.cluster.unixproc import UnixProcess
 from repro.mpichv import protocols, wire
 from repro.simkernel.store import StoreClosed
@@ -117,6 +118,7 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
         # Both the buggy and the fixed dispatcher handle this correctly
         # (the paper's bug needs the daemon to be *running* already).
         state.failures_detected += 1
+        engine.cover("disp.launch_death")
         engine.log("failure_detected", rank=rank, where="launch")
         spawn_slot(rank)
 
@@ -132,13 +134,17 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
         prev = state.phase
         state.phase = RUNNING
         if prev == RESTARTING:
+            engine.cover("disp.wave.recovery_complete")
             engine.log("recovery_complete", epoch=state.epoch)
         else:
+            engine.cover("disp.wave.app_start")
             engine.log("app_start", epoch=state.epoch)
 
     def initiate_restart(failed_ranks: Set[int]) -> None:
         state.epoch += 1
         state.restarts += 1
+        engine.cover(f"disp.restart.epoch.x{hit_bucket(state.epoch)}")
+        engine.cover(f"disp.restart.failed.x{hit_bucket(len(failed_ranks))}")
         state.phase = RESTARTING
         state.restore_wave = state.last_committed
         state.done_ranks.clear()
@@ -158,6 +164,7 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
         for rank in range(n):
             if rank not in old_reg and rank not in failed_ranks \
                     and rank not in state.pending_term:
+                engine.cover("disp.restart.midspawn_teardown")
                 handle = state.proc_handles.get(rank)
                 if handle is not None and handle.state.alive:
                     handle.kill()
@@ -188,25 +195,32 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
                 # cleanup; the new-wave failure goes unnoticed and the
                 # machine is never relaunched.
                 state.bug_events += 1
+                engine.cover("disp.closure.bug_misattribution")
                 engine.log("bug_misattribution", rank=rank, epoch=ep)
                 return
             state.failures_detected += 1
+            engine.cover(f"disp.closure.failure.{state.phase}")
             engine.log("failure_detected", rank=rank, where=state.phase)
             if single_rank_restart:
                 # message logging: only the failed rank restarts
+                engine.cover("disp.closure.single_rank_restart")
                 state.restarts += 1
                 del state.reg[rank]
                 engine.log("restart_wave", epoch=state.epoch,
                            restore=spec.name, failed=[rank])
                 spawn_slot(rank)
             else:
+                engine.cover("disp.closure.full_restart")
                 initiate_restart({rank})
         else:
             # old-epoch connection: expected termination acknowledgement
             if state.pending_term.get(rank) == ep:
+                engine.cover("disp.closure.term_ack")
                 del state.pending_term[rank]
                 spawn_slot(rank)
-            # anything else: stale residue, correctly ignored
+            else:
+                # stale residue, correctly ignored
+                engine.cover("disp.closure.stale")
 
     # ------------------------------------------------------------------
     # connection handling
@@ -216,12 +230,15 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
             first = yield sock.recv()
         except StoreClosed:
             return
+        engine.cover(f"disp.rx.{type(first).__name__}")
         if isinstance(first, wire.WaveCommit):
             # the checkpoint scheduler's commit-note connection
             sched_conn[0] = sock
             msg = first
             while True:
                 if isinstance(msg, wire.WaveCommit):
+                    engine.cover(
+                        f"disp.sched.commit.x{hit_bucket(max(1, msg.wave))}")
                     state.last_committed = msg.wave
                 try:
                     msg = yield sock.recv()
@@ -234,6 +251,7 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
         rank, ep, inc = msg.rank, msg.epoch, msg.incarnation
         if state.phase == DONE or ep != state.epoch \
                 or inc != state.incarnation.get(rank):
+            engine.cover("disp.reg.stale")
             sock.close()                 # stale or late registration
             return
         state.reg[rank] = sock
@@ -243,6 +261,7 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
         if state.phase == RUNNING and single_rank_restart:
             # single-rank restart: the rest of the system never
             # stopped; hand the newcomer its command map directly.
+            engine.cover("disp.reg.single_rank_cmdmap")
             sock.send(wire.CommandMap(epoch=state.epoch,
                                       addrs=dict(state.addrs),
                                       restore_wave=None))
@@ -257,6 +276,7 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
             except StoreClosed:
                 on_closure(rank, ep, sock)
                 return
+            engine.cover(f"disp.rx.{type(msg).__name__}")
             if isinstance(msg, wire.Done):
                 if state.phase == RUNNING and ep == state.epoch:
                     state.done_ranks.add(msg.rank)

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.analysis.classify import Outcome, RunVerdict, classify_run
+from repro.analysis.coverage import run_signature
 from repro.analysis.traces import Trace
 from repro.cluster.cluster import Cluster
 from repro.mpichv import protocols, shardmap
@@ -54,6 +55,11 @@ class RunResult:
     #: server's disk, indexed by shard) — how evenly the shard map
     #: spreads the Fig. 6 ingest bottleneck over ``n_ckpt_servers``
     ckpt_shard_bytes: List[int] = field(default_factory=list)
+    #: hex wire form of the run's coverage signature (see
+    #: :mod:`repro.analysis.coverage`): dispatcher/daemon probe labels
+    #: plus hit-bucketed trace counters, folded into a fixed-width
+    #: bitmap.  Empty string on legacy results.
+    coverage: str = ""
 
     @property
     def ckpt_shard_imbalance(self) -> float:
@@ -192,6 +198,13 @@ class VclRuntime:
             self.trace.unsubscribe(_capture)
 
         verdict = classify_run(self.trace, timeout)
+        # Coverage signature: probe labels hit during the run (branch
+        # points in the dispatcher / daemon lifecycle) plus
+        # hit-bucketed trace-kind counters — the greybox search signal
+        # of :mod:`repro.explore`.  Computed here so pooled and
+        # cache-loaded results carry it identically to live ones.
+        coverage = run_signature(self.engine.coverage,
+                                 self.trace.counts).hex
         disp = self.dispatcher_state
         sched = self.scheduler_state
         network = self.cluster.network
@@ -222,6 +235,7 @@ class VclRuntime:
             net_hotspot=hotspot_link,
             net_hotspot_bytes=hotspot_bytes,
             ckpt_shard_bytes=shard_bytes,
+            coverage=coverage,
         )
 
     # -- teardown ---------------------------------------------------------------

@@ -155,9 +155,18 @@ class Engine:
         self._front: List[Tuple[float, int]] = []
         #: optional repro.analysis.traces.Trace sink shared by subsystems
         self.trace = trace
+        #: coverage probe labels hit during this run — a plain set, so
+        #: a probe on a hot path costs one set-add; folded into the
+        #: trial's coverage signature by the runtime (see
+        #: :mod:`repro.analysis.coverage`)
+        self.coverage: set = set()
         #: number of events processed so far (cheap progress metric)
         self.events_processed = 0
         self._stopped = False
+
+    def cover(self, label: str) -> None:
+        """Record that execution reached the probe point ``label``."""
+        self.coverage.add(label)
 
     # -- construction helpers ---------------------------------------------
     def event(self, name: Optional[str] = None) -> Event:

@@ -1,0 +1,108 @@
+"""Micro-benchmarks of the partitioned engine.
+
+Two costs dominate a conservative-lookahead run and both are pinned
+here at 2 and 4 workers:
+
+* **cross-partition delivery** — payload messages crossing the cut:
+  outbox collection, arrival-sorted mailbox merges, and the safe-
+  horizon fixpoint every round;
+* **null-message overhead** — the price of synchronization when
+  partitions have nothing to say: every round still grants horizons on
+  every silent channel (the CMB null messages), so a chatty window
+  protocol shows up directly as wall time per simulated second.
+
+The ``inline`` backend is benchmarked deliberately: it runs the exact
+coordinator/worker protocol of the process backend minus the pipes, so
+it isolates the synchronization overhead from fork/IPC noise (and from
+the core count of the CI machine — see docs/parallel-engine.md for
+why wall-clock *speedup* is a property of the host, not of this
+suite).
+"""
+
+import pytest
+
+from repro.simkernel.parallel import (ChannelSpec, PartitionSpec,
+                                      run_partitioned)
+
+LOOKAHEAD = 0.5
+
+# -- model builders (module level: picklable, shared with the process
+#    backend if anyone points it at these) ----------------------------------
+
+
+def build_streamer(ctx, succ, iters):
+    """Send one payload to ``succ`` every lookahead interval."""
+    ctx.on_receive(lambda src, msg: None)      # sink for the predecessor
+    count = [0]
+
+    def tick():
+        ctx.send(succ, count[0])
+        count[0] += 1
+        if count[0] < iters:
+            ctx.engine.call_later(LOOKAHEAD, tick)
+
+    ctx.engine.call_later(0.0, tick)
+
+
+def build_local_ticker(ctx, horizon, step):
+    """Dense local activity, zero cross traffic: every window the
+    coordinator grants are pure null messages."""
+    ctx.on_receive(lambda src, msg: None)
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+        if ctx.engine.now + step <= horizon:
+            ctx.engine.call_later(step, tick)
+
+    ctx.engine.call_later(step, tick)
+
+
+def finish_events(ctx):
+    return ctx.engine.events_processed
+
+
+def _ring(workers, build, args_for):
+    partitions = [
+        PartitionSpec(f"p{i}", build, args_for(i), finish=finish_events)
+        for i in range(workers)]
+    channels = [ChannelSpec(f"p{i}", f"p{(i + 1) % workers}", LOOKAHEAD)
+                for i in range(workers)]
+    return partitions, channels
+
+
+@pytest.mark.benchmark(group="parallel")
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_cross_delivery_throughput(benchmark, workers):
+    MESSAGES = 400                      # per partition, one per window
+
+    def run():
+        partitions, channels = _ring(
+            workers, build_streamer,
+            lambda i: (f"p{(i + 1) % workers}", MESSAGES))
+        _results, stats = run_partitioned(partitions, channels, seed=0,
+                                          backend="inline")
+        return stats
+
+    stats = benchmark(run)
+    assert stats.payload_messages == workers * MESSAGES
+    assert stats.partitions == workers
+
+
+@pytest.mark.benchmark(group="parallel")
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_null_message_overhead(benchmark, workers):
+    HORIZON = 200.0                     # ~400 windows of silence
+
+    def run():
+        partitions, channels = _ring(
+            workers, build_local_ticker, lambda i: (HORIZON, 0.1))
+        _results, stats = run_partitioned(partitions, channels, seed=0,
+                                          backend="inline")
+        return stats
+
+    stats = benchmark(run)
+    # every window grants one null per channel: nothing ever crosses
+    assert stats.payload_messages == 0
+    assert stats.null_messages == stats.rounds * workers
+    assert stats.rounds > 100

@@ -32,6 +32,8 @@ GATED_PREFIXES = (
     "test_engine_callback_dispatch_throughput",
     "test_engine_scale_512_delivery_throughput",
     "test_network_delivery_throughput",
+    "test_parallel_cross_delivery_throughput",
+    "test_parallel_null_message_overhead",
 )
 
 DEFAULT_THRESHOLD = 1.5

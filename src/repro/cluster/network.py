@@ -45,6 +45,7 @@ from typing import (Any, Dict, FrozenSet, NamedTuple, Optional, Sequence,
 from repro.netmodel import (DEFAULT_BANDWIDTH, DEFAULT_LATENCY, build_fabric)
 from repro.simkernel.engine import Engine
 from repro.simkernel.events import Event
+from repro.simkernel.parallel import LookaheadViolation
 from repro.simkernel.store import Store, StoreClosed
 
 
@@ -99,8 +100,12 @@ class Network:
         self.messages_sent = 0
         #: uniform fabric -> the hot path never consults the fabric
         self._fast_uniform = self.fabric.is_uniform
-        #: live connection endpoints (for partition severing)
-        self._sockets: Set["Socket"] = set()
+        #: live connection endpoints (for partition severing); an
+        #: insertion-ordered dict-as-set — severance must scan
+        #: connections in creation order or same-instant closure
+        #: notifications land in address-dependent (nondeterministic)
+        #: tie-break order
+        self._sockets: Dict["Socket", None] = {}
         #: every endpoint/listener ever created, closed ones included —
         #: consumed only by teardown (VclRuntime.dispose), which must
         #: break the ``_peer`` cycles of sockets long forgotten here
@@ -110,6 +115,16 @@ class Network:
         self._isolated: Set[str] = set()
         #: explicitly cut host pairs
         self._cut_pairs: Set[FrozenSet[str]] = set()
+        # -- engine-partition accounting (None unless the runtime runs
+        #    in engine_workers mode; see set_partition_plan) ----------
+        self._host_group: Optional[Dict[str, int]] = None
+        self._group_lookahead = 0.0
+        self._window = 0
+        self._channel_last_window: Dict[Tuple[int, int], int] = {}
+        self.cross_messages = 0
+        self.cross_bytes = 0
+        self.payload_windows = 0
+        self.n_groups = 0
 
     # -- topology ------------------------------------------------------------
     def register_host(self, host: str) -> None:
@@ -120,6 +135,57 @@ class Network:
         if self._fast_uniform:
             return self.latency
         return self.fabric.latency_between(a, b)
+
+    # -- engine partitions -----------------------------------------------------
+    def set_partition_plan(self, groups: Sequence[Sequence[str]],
+                           min_lookahead: float) -> None:
+        """Attach a partition map for engine-workers accounting.
+
+        ``groups`` is the host partitioning from
+        :func:`repro.mpichv.shardmap.partition_hosts`;
+        ``min_lookahead`` is the fabric's cross-group bound
+        (:meth:`repro.netmodel.fabric.FabricModel.min_lookahead`).
+        From here on every transmit is classified local vs
+        cross-partition, cross traffic is checked against the
+        lookahead (a delivery faster than the bound would invalidate
+        the safe horizons partitioned execution grants — see
+        :mod:`repro.simkernel.parallel`), and per-window payload
+        markers feed the null-message accounting in
+        :meth:`partition_stats`.
+        """
+        self._host_group = {host: gi
+                            for gi, group in enumerate(groups)
+                            for host in group}
+        self._group_lookahead = min_lookahead
+        self.n_groups = len(groups)
+
+    def begin_window(self) -> None:
+        """Open the next horizon window (runtime-driven; one call per
+        safe-horizon grant)."""
+        self._window += 1
+
+    def partition_stats(self) -> Dict[str, Any]:
+        """Cross-partition accounting for :class:`RunResult.parallel`.
+
+        ``null_messages`` is computed, not sampled: every window grants
+        every directed cross-group channel a horizon, and a grant that
+        shipped no payload *is* the null message of the distributed
+        protocol — so ``windows * channels - payload_windows`` without
+        any per-window channel scan (O(1) per transmit, nothing per
+        window).
+        """
+        channels = self.n_groups * (self.n_groups - 1)
+        windows = self._window
+        return {
+            "partitions": self.n_groups,
+            "windows": windows,
+            "channels": channels,
+            "cross_messages": self.cross_messages,
+            "cross_bytes": self.cross_bytes,
+            "payload_windows": self.payload_windows,
+            "null_messages": windows * channels - self.payload_windows,
+            "min_lookahead": self._group_lookahead,
+        }
 
     # -- link state ------------------------------------------------------------
     @property
@@ -204,7 +270,7 @@ class Network:
                         s._rx.close()
                         s._peer_closed = True
                     # dead for good: drop from the severing scan set
-                    self._sockets.discard(s)
+                    self._sockets.pop(s, None)
 
             self.engine.call_later(delay, _fire)
 
@@ -218,11 +284,16 @@ class Network:
         return self.fabric.link_stats()
 
     def hotspot(self) -> Tuple[Optional[str], int]:
-        """``(link name, bytes)`` of the busiest link."""
+        """``(link name, bytes)`` of the busiest link.
+
+        The uniform fabric reports ``(None, 0)``: it keeps no per-link
+        books (the hot path never consults the fabric), so there is no
+        busiest link — the old ``("fabric", total)`` answer read as a
+        100 %-saturated link in benchmark rows when it was really just
+        the aggregate restated (see ``tests/test_netmodel.py``).
+        """
         if self._fast_uniform:
-            if self.bytes_sent == 0:
-                return (None, 0)
-            return ("fabric", self.bytes_sent)
+            return (None, 0)
         return self.fabric.hotspot()
 
     # -- listening -----------------------------------------------------------
@@ -277,8 +348,8 @@ class Network:
                     or not self.reachable(src_host, addr.host):
                 ev.fail(ConnectionRefused(f"listener at {addr} closed"))
                 return
-            self._sockets.add(client)
-            self._sockets.add(server)
+            self._sockets[client] = None
+            self._sockets[server] = None
             listener._backlog.put(server)
             ev.succeed(client)
 
@@ -304,6 +375,27 @@ class Network:
                                            peer.local_host, size,
                                            sock._pipe_free)
         sock._pipe_free = arrival
+        host_group = self._host_group
+        if host_group is not None:
+            gs = host_group.get(sock.local_host)
+            gd = host_group.get(peer.local_host)
+            if gs != gd and gs is not None and gd is not None:
+                # Cross-partition payload: account it and check the
+                # conservative bound.  Control-plane paths (connect,
+                # close notify, severance) all wait >= one path latency
+                # by construction, so the transmit path is the only
+                # place the bound needs a runtime guard.
+                self.cross_messages += 1
+                self.cross_bytes += size
+                if arrival - self.engine.now < self._group_lookahead:
+                    raise LookaheadViolation(
+                        f"delivery {sock.local_host}->{peer.local_host} in "
+                        f"{arrival - self.engine.now:.3g}s beats the "
+                        f"partition lookahead {self._group_lookahead:.3g}s")
+                key = (gs, gd)
+                if self._channel_last_window.get(key) != self._window:
+                    self._channel_last_window[key] = self._window
+                    self.payload_windows += 1
 
         def _arrive() -> None:
             if not peer._rx.closed:
@@ -332,7 +424,7 @@ class Network:
         self.engine.call_at(arrival, _close_peer)
 
     def _forget(self, sock: "Socket") -> None:
-        self._sockets.discard(sock)
+        self._sockets.pop(sock, None)
 
     def dispose(self) -> None:
         """Break every endpoint's reference cycles, dead ones included

@@ -61,6 +61,11 @@ class TrialSetup:
     #: extra :class:`VclConfig` attributes (e.g. ``{"cm_replay": False}``
     #: to plant the broken-replay bug the exploration oracles hunt)
     config_overrides: Dict[str, object] = field(default_factory=dict)
+    #: engine partitions to run the trial's simulation over (see
+    #: docs/parallel-engine.md).  Pure execution knob: the simulated
+    #: history is bit-identical at every value, so :func:`trial_key`
+    #: excludes it from the cache hash — same simulation, same slot.
+    engine_workers: int = 1
 
     def build(self, seed: int):
         """Construct (runtime, deployment) for one repetition."""
@@ -87,7 +92,8 @@ class TrialSetup:
             params=self.workload_params,
         )
         runtime = VclRuntime(config, workload.make_factory(), seed=seed,
-                             keep_trace=self.keep_trace)
+                             keep_trace=self.keep_trace,
+                             engine_workers=self.engine_workers)
         deployment = None
         if self.scenario_source is not None:
             params = dict(self.scenario_params)

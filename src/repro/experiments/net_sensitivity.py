@@ -112,8 +112,12 @@ def summarize(result: ExperimentResult) -> List[Dict[str, object]]:
             "pct_terminated": row.pct_terminated,
             "mean_exec_time": row.mean_exec_time,
             "mean_net_mb": row.mean_net_bytes / 1e6,
+            # Both columns null when the fabric keeps no per-link
+            # books (uniform): a "100 % hot link" that is really the
+            # aggregate restated would misread as saturation.
             "hotspot_link": row.hotspot_link,
-            "hotspot_share": row.hotspot_share,
+            "hotspot_share": (row.hotspot_share
+                              if row.hotspot_link is not None else None),
         })
     return out
 

@@ -35,7 +35,14 @@ from repro.analysis.traces import Trace, TraceRecord
 from repro.mpichv.runtime import RunResult
 
 #: bump when the document layout changes; readers reject other versions
-FORMAT_VERSION = 5    # 5: coverage signature (hex bitmap) on every result
+FORMAT_VERSION = 6    # 6: engine-workers execution metadata
+#                       (engine_workers, parallel accounting) on every
+#                       result.  wall_seconds is deliberately NOT
+#                       serialized: wall clock is never deterministic,
+#                       and the wire document must stay bit-for-bit
+#                       identical across serial/pool/cache paths
+#                       (tests/test_network_partition.py) — wall-clock
+#                       numbers live in BENCH_*.json artifacts only.
 
 
 def _json_safe(value: Any) -> Any:
@@ -96,6 +103,9 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
         "net_hotspot_bytes": result.net_hotspot_bytes,
         "ckpt_shard_bytes": list(result.ckpt_shard_bytes),
         "coverage": result.coverage,
+        "engine_workers": result.engine_workers,
+        "parallel": (dict(result.parallel)
+                     if result.parallel is not None else None),
     }
 
 
@@ -129,6 +139,9 @@ def run_result_from_dict(doc: Dict[str, Any]) -> RunResult:
         net_hotspot_bytes=int(doc.get("net_hotspot_bytes", 0)),
         ckpt_shard_bytes=[int(b) for b in doc.get("ckpt_shard_bytes", [])],
         coverage=str(doc.get("coverage", "")),
+        engine_workers=int(doc.get("engine_workers", 1)),
+        parallel=doc.get("parallel"),
+        wall_seconds=float(doc.get("wall_seconds", 0.0)),
     )
 
 

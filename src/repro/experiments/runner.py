@@ -47,23 +47,30 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 
 #: bump to invalidate every existing cache entry (key derivation or
 #: simulation semantics changed)
-CACHE_VERSION = 6        # 6: coverage-guided exploration — results
-#                          carry a per-trial coverage signature
-#                          (RunResult.coverage), result format 5
+CACHE_VERSION = 7        # 7: engine-workers execution metadata on
+#                          results (result format 6); engine_workers
+#                          excluded from the key
 
 
 def trial_key(setup: "TrialSetup", seed: int) -> str:
     """Stable cache key for one ``(setup, seed)`` trial.
 
-    The key hashes the canonical JSON of *every* :class:`TrialSetup`
+    The key hashes the canonical JSON of every :class:`TrialSetup`
     field plus the seed and :data:`CACHE_VERSION`, so any change to the
     configuration — scale, scenario source, protocol, workload
-    calibration, ... — lands in a different cache slot.
+    calibration, ... — lands in a different cache slot.  The one
+    exception is ``engine_workers``: it changes how the simulation
+    executes, never what it simulates (bit-identical history, guarded
+    by ``tests/test_engine_workers_golden.py``), so every worker count
+    shares one slot — a cached reference run satisfies a parallel
+    request and vice versa.
     """
+    setup_doc = dataclasses.asdict(setup)
+    setup_doc.pop("engine_workers", None)
     doc = {
         "version": CACHE_VERSION,
         "seed": seed,
-        "setup": dataclasses.asdict(setup),
+        "setup": setup_doc,
     }
     canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"),
                            default=repr)
@@ -108,12 +115,21 @@ class TrialRunner:
     use_cache:
         ``False`` makes the runner ignore ``cache_dir`` entirely —
         nothing is read from or written to the store.
+    engine_workers:
+        When > 1, every submitted trial's setup is rewritten to run
+        its *simulation* over that many engine partitions (see
+        ``TrialSetup.engine_workers`` and docs/parallel-engine.md).
+        Orthogonal to ``workers``: that knob parallelizes *across*
+        trials, this one partitions *within* each.  Never part of the
+        cache key — the simulated results are bit-identical.
     """
 
     def __init__(self, workers: int = 1,
                  cache_dir: Optional[str] = None,
-                 use_cache: bool = True):
+                 use_cache: bool = True,
+                 engine_workers: int = 1):
         self.workers = max(1, int(workers))
+        self.engine_workers = max(1, int(engine_workers))
         self.store: Optional[ResultStore] = (
             ResultStore(cache_dir) if (cache_dir and use_cache) else None)
         self.stats = RunnerStats()
@@ -121,6 +137,11 @@ class TrialRunner:
     def run_jobs(self, jobs: Sequence[Tuple["TrialSetup", int]]
                  ) -> List[RunResult]:
         """Run (or load) every job; results align with ``jobs`` order."""
+        if self.engine_workers > 1:
+            jobs = [(dataclasses.replace(setup,
+                                         engine_workers=self.engine_workers),
+                     seed)
+                    for setup, seed in jobs]
         results: List[Optional[RunResult]] = [None] * len(jobs)
         keys: List[Optional[str]] = [None] * len(jobs)
         pending: List[int] = []
@@ -177,10 +198,17 @@ def add_runner_arguments(parser) -> None:
     group.add_argument(
         "--no-cache", action="store_true",
         help="ignore the cache entirely (neither read nor write)")
+    group.add_argument(
+        "--engine-workers", type=int, default=1, metavar="W",
+        help="partition each trial's simulation over W engine "
+             "partitions (default: 1, the single-engine reference; "
+             "results are bit-identical at every W — see "
+             "docs/parallel-engine.md)")
 
 
 def runner_from_args(args) -> TrialRunner:
     """Build the :class:`TrialRunner` described by parsed CLI args."""
     return TrialRunner(workers=getattr(args, "workers", 1),
                        cache_dir=getattr(args, "cache_dir", None),
-                       use_cache=not getattr(args, "no_cache", False))
+                       use_cache=not getattr(args, "no_cache", False),
+                       engine_workers=getattr(args, "engine_workers", 1))

@@ -1,0 +1,602 @@
+"""Conservative parallel discrete-event simulation across OS processes.
+
+The single-engine simulator is strictly one core per trial; this
+module partitions a simulation into *logical partitions*, each running
+its own :class:`~repro.simkernel.engine.Engine` in its own worker, and
+synchronizes them with the classic conservative (Chandy–Misra–Bryant)
+discipline:
+
+* every cross-partition interaction travels a declared
+  :class:`ChannelSpec` with a **lookahead** ``L > 0`` — a send at
+  simulated time ``t`` can affect the destination no earlier than
+  ``t + L`` (in the deployment integration the link latency of the
+  fabric is exactly this bound);
+* a partition may only advance to its **safe horizon** — the earliest
+  simulated time at which any inbound channel could still deliver.
+  Horizons are a fixpoint over the channel graph (a sender that is
+  itself blocked cannot emit either), computed each round by the
+  coordinator from every partition's next-event time;
+* a channel that carries no payload in a round still advances its
+  clock — the coordinator's horizon grant *is* the **null message**
+  of the distributed protocol, and is accounted as one
+  (:class:`ParallelStats.null_messages`).  Lookahead being strictly
+  positive is what makes the null-message chain advance global time,
+  i.e. the standard CMB deadlock-avoidance argument;
+* termination is **barrier-free drain**: no global barrier event is
+  ever scheduled — the run is over exactly when every partition
+  reports an empty slot table and no message is in flight.
+
+Two interchangeable backends execute the same protocol:
+
+``processes``
+    One OS worker process per partition (``fork`` start method),
+    commands and messages over pipes.  Real multicore scaling: each
+    worker's event loop runs unshackled from the others' GIL.  Each
+    worker pauses its cyclic GC for the run and disposes its engine at
+    exit, mirroring the single-core trial throughput path.
+``inline``
+    The identical coordinator/worker round protocol driven
+    cooperatively in one process, in deterministic partition order.
+    This is the reference executor for tests — ``inline`` and
+    ``processes`` runs are bit-for-bit identical
+    (``tests/test_parallel_engine.py``) — and the fallback when the
+    platform cannot fork.
+
+Determinism contract: partition engines are seeded as
+``seed + 7919 * partition_index`` (the campaign seed scheme), message
+delivery into a partition is ordered by ``(arrival time, source
+partition, per-source sequence)`` before scheduling, and coordinator
+decisions are pure functions of reported next-event times — so worker
+count changes wall-clock only, never history.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.simkernel.engine import Engine, gc_paused
+
+#: seed stride between partition engines (the 1000th prime, the same
+#: scheme :func:`repro.experiments.harness.trial_seed` uses for trials)
+SEED_STRIDE = 7919
+
+_INF = math.inf
+
+
+class LookaheadViolation(Exception):
+    """A cross-partition message was sent with less delay than its
+    channel's declared lookahead — the conservative guarantee the
+    whole synchronization scheme rests on."""
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """One directed cross-partition link with a conservative bound.
+
+    ``lookahead`` promises: a payload sent at time ``t`` arrives at
+    ``>= t + lookahead``.  It must be strictly positive — a zero bound
+    would allow a same-instant causal chain between partitions, which
+    conservative synchronization cannot order.
+    """
+
+    src: str
+    dst: str
+    lookahead: float
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"channel {self.src}->{self.dst} is a self-loop")
+        if not self.lookahead > 0:
+            raise ValueError(
+                f"channel {self.src}->{self.dst} needs lookahead > 0, "
+                f"got {self.lookahead!r} (zero lookahead cannot be "
+                f"conservatively ordered)")
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """One partition: a name and a model builder.
+
+    ``build(ctx, *args)`` runs once inside the partition's worker; it
+    spawns processes/timers on ``ctx.engine`` and registers the
+    inbound-message handler via ``ctx.on_receive``.  ``finish(ctx)``
+    (optional) runs after the drain and its picklable return value
+    becomes the partition's entry in the run's result dict.
+    """
+
+    name: str
+    build: Callable[..., None]
+    args: Tuple = ()
+    finish: Optional[Callable[["PartitionContext"], Any]] = None
+
+
+@dataclass
+class ParallelStats:
+    """Where the synchronization effort went."""
+
+    backend: str = "inline"
+    partitions: int = 0
+    rounds: int = 0
+    #: cross-partition payload messages shipped
+    payload_messages: int = 0
+    #: horizon grants on channels that carried no payload that round —
+    #: exactly the null messages a distributed CMB run would send
+    null_messages: int = 0
+    events_processed: int = 0
+    per_partition_events: Dict[str, int] = field(default_factory=dict)
+    min_lookahead: float = _INF
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "partitions": self.partitions,
+            "rounds": self.rounds,
+            "payload_messages": self.payload_messages,
+            "null_messages": self.null_messages,
+            "events_processed": self.events_processed,
+            "per_partition_events": dict(self.per_partition_events),
+            "min_lookahead": self.min_lookahead,
+        }
+
+
+class PartitionContext:
+    """The worker-side view of one partition."""
+
+    def __init__(self, name: str, index: int, engine: Engine,
+                 out_lookahead: Dict[str, float]):
+        self.name = name
+        self.index = index
+        self.engine = engine
+        self._out_lookahead = out_lookahead
+        #: (send_time, arrival, dst, seq, msg) accumulated this round
+        self._outbox: List[Tuple[float, float, str, int, Any]] = []
+        self._seq = 0
+        self._handler: Optional[Callable[[str, Any], None]] = None
+
+    def on_receive(self, handler: Callable[[str, Any], None]) -> None:
+        """Register ``handler(src_partition, msg)``, invoked at each
+        inbound payload's arrival time (inside the engine's clock)."""
+        self._handler = handler
+
+    def send(self, dst: str, msg: Any, delay: Optional[float] = None) -> None:
+        """Ship ``msg`` to partition ``dst``, arriving ``delay`` after
+        now (default: the channel's lookahead, the earliest legal
+        arrival).  ``delay`` below the lookahead is a protocol error.
+        """
+        lookahead = self._out_lookahead.get(dst)
+        if lookahead is None:
+            raise ValueError(f"no channel {self.name}->{dst} declared")
+        if delay is None:
+            delay = lookahead
+        elif delay < lookahead:
+            raise LookaheadViolation(
+                f"send {self.name}->{dst} with delay {delay} under the "
+                f"channel lookahead {lookahead}")
+        now = self.engine.now
+        self._outbox.append((now, now + delay, dst, self._seq, msg))
+        self._seq += 1
+
+    # -- worker internals ---------------------------------------------------
+    def _deliver(self, batch: Sequence[Tuple[float, int, int, Any]]) -> None:
+        """Schedule inbound payloads ``(arrival, src_index, seq, msg)``.
+
+        The batch is sorted before scheduling so same-instant arrivals
+        enqueue in ``(arrival, source partition, sequence)`` order —
+        the deterministic tie-break both backends share.
+        """
+        handler = self._handler
+        if handler is None:
+            raise RuntimeError(
+                f"partition {self.name!r} received a message but "
+                f"registered no on_receive handler")
+        engine = self.engine
+        for arrival, src_index, _seq, msg in sorted(
+                batch, key=lambda m: (m[0], m[1], m[2])):
+            if arrival < engine.now:
+                raise LookaheadViolation(
+                    f"partition {self.name!r} got a message for t={arrival} "
+                    f"after advancing to t={engine.now} — safe horizon "
+                    f"violated")
+            engine.call_at(arrival, _Delivery(handler, src_index, msg))
+
+    def _take_outbox(self) -> List[Tuple[float, float, str, int, Any]]:
+        out = self._outbox
+        self._outbox = []
+        return out
+
+
+class _Delivery:
+    """A pending inbound payload (kept a class, not a closure, so the
+    per-message allocation stays small and picklable state obvious)."""
+
+    __slots__ = ("handler", "src_index", "msg")
+
+    def __init__(self, handler, src_index, msg):
+        self.handler = handler
+        self.src_index = src_index
+        self.msg = msg
+
+    def __call__(self) -> None:
+        self.handler(self.src_index, self.msg)
+
+
+class _Worker:
+    """One partition's executor: an engine plus the round protocol.
+
+    Used directly by the inline backend and wrapped in a child process
+    by the processes backend — the logic is shared, which is what makes
+    the two backends bit-for-bit identical.
+    """
+
+    def __init__(self, spec: PartitionSpec, index: int, seed: int,
+                 out_lookahead: Dict[str, float]):
+        self.spec = spec
+        self.engine = Engine(seed=seed + SEED_STRIDE * index)
+        self.ctx = PartitionContext(spec.name, index, self.engine,
+                                    out_lookahead)
+        spec.build(self.ctx, *spec.args)
+
+    def run_round(self, horizon: float,
+                  inbound: Sequence[Tuple[float, int, int, Any]]
+                  ) -> Tuple[float, List[Tuple[float, float, str, int, Any]],
+                             int]:
+        """Deliver ``inbound``, run to ``horizon``, report
+        ``(next event time, outbox, events processed so far)``."""
+        if inbound:
+            self.ctx._deliver(inbound)
+        self.engine.run_horizon(horizon)
+        return (self.engine.peek(), self.ctx._take_outbox(),
+                self.engine.events_processed)
+
+    def finish(self) -> Any:
+        result = None
+        if self.spec.finish is not None:
+            result = self.spec.finish(self.ctx)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# coordinator
+# ---------------------------------------------------------------------------
+
+def safe_horizons(next_times: Sequence[float],
+                  inbound: Sequence[Sequence[Tuple[int, float]]]
+                  ) -> List[float]:
+    """Per-partition safe horizons — the CMB fixpoint.
+
+    ``inbound[i]`` lists ``(src partition index, lookahead)`` for every
+    channel into partition ``i``.  Partition ``i`` may execute events
+    strictly below ``H_i = min over channels (S_src + L)`` where
+    ``S_src = min(next_times[src], H_src)`` — a sender cannot emit
+    before its own next event *or* before anything that could still
+    wake it.  Computed by relaxation to the (unique) greatest fixpoint;
+    with every ``L > 0`` the loop terminates in at most ``n`` sweeps
+    (longest lookahead-decreasing chain, the Bellman–Ford argument).
+    """
+    n = len(next_times)
+    horizons = [_INF] * n
+    for _sweep in range(n + 1):
+        changed = False
+        for i in range(n):
+            bound = _INF
+            for src, lookahead in inbound[i]:
+                s = min(next_times[src], horizons[src])
+                if s + lookahead < bound:
+                    bound = s + lookahead
+            if bound < horizons[i]:
+                horizons[i] = bound
+                changed = True
+        if not changed:
+            break
+    return horizons
+
+
+class _Coordinator:
+    """Drives the round protocol over a transport (inline or pipes)."""
+
+    def __init__(self, partitions: Sequence[PartitionSpec],
+                 channels: Sequence[ChannelSpec], backend: str):
+        names = [p.name for p in partitions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate partition names in {names}")
+        self.index_of = {name: i for i, name in enumerate(names)}
+        self.partitions = list(partitions)
+        self.channels = list(channels)
+        for ch in channels:
+            for end in (ch.src, ch.dst):
+                if end not in self.index_of:
+                    raise ValueError(f"channel endpoint {end!r} is not a "
+                                     f"declared partition")
+        #: per-partition inbound (src index, lookahead) lists
+        self.inbound: List[List[Tuple[int, float]]] = [
+            [] for _ in partitions]
+        #: (src index, dst index) -> lookahead
+        self.pair_lookahead: Dict[Tuple[int, int], float] = {}
+        for ch in channels:
+            s, d = self.index_of[ch.src], self.index_of[ch.dst]
+            if (s, d) in self.pair_lookahead:
+                raise ValueError(f"duplicate channel {ch.src}->{ch.dst}")
+            self.pair_lookahead[(s, d)] = ch.lookahead
+            self.inbound[d].append((s, ch.lookahead))
+        self.stats = ParallelStats(
+            backend=backend, partitions=len(partitions),
+            min_lookahead=(min(ch.lookahead for ch in channels)
+                           if channels else _INF))
+
+    def out_lookahead_for(self, index: int) -> Dict[str, float]:
+        return {self.partitions[d].name: lookahead
+                for (s, d), lookahead in self.pair_lookahead.items()
+                if s == index}
+
+    def run(self, transport: "_Transport",
+            until: Optional[float] = None) -> Dict[str, Any]:
+        n = len(self.partitions)
+        stats = self.stats
+        cap = _INF if until is None else math.nextafter(until, _INF)
+        next_times = transport.poll_next_times()
+        #: per-partition pending deliveries for the coming round
+        mailboxes: List[List[Tuple[float, int, int, Any]]] = [
+            [] for _ in range(n)]
+        while True:
+            # Drained: no mail in flight and every partition's next
+            # event is at/after the cap (``cap`` is inf when no
+            # ``until`` was given, so this also covers full drain).
+            if not any(mailboxes) and all(t >= cap for t in next_times):
+                break
+            horizons = safe_horizons(next_times, self.inbound)
+            run_set = []
+            for i in range(n):
+                horizon = min(horizons[i], cap)
+                # A partition runs this round iff it has work below its
+                # horizon or fresh mail to integrate.
+                if mailboxes[i] or next_times[i] < horizon:
+                    run_set.append((i, horizon))
+            if not run_set:
+                # Nothing runnable anywhere yet mail/next-times remain:
+                # only possible if every pending event sits at/after
+                # the cap — the caller's `until` stops the run here.
+                break
+            stats.rounds += 1
+            replies = transport.run_round(
+                [(i, horizon, mailboxes[i]) for i, horizon in run_set])
+            carried = {(s, d): 0 for (s, d) in self.pair_lookahead}
+            for i, _horizon in run_set:
+                mailboxes[i] = []
+            for (i, _horizon), (next_time, outbox, events) in zip(run_set,
+                                                                  replies):
+                next_times[i] = next_time
+                stats.per_partition_events[self.partitions[i].name] = events
+                for send_time, arrival, dst, seq, msg in outbox:
+                    d = self.index_of[dst]
+                    mailboxes[d].append((arrival, i, seq, msg))
+                    carried[(i, d)] += 1
+                    stats.payload_messages += 1
+            # Horizon grants on silent channels = null messages.
+            for pair, count in carried.items():
+                if count == 0:
+                    stats.null_messages += 1
+            # A delivered message may precede the receiver's reported
+            # next event; fold mailboxes into the next-time view.
+            for d in range(n):
+                for arrival, _i, _seq, _msg in mailboxes[d]:
+                    if arrival < next_times[d]:
+                        next_times[d] = arrival
+        results, events = transport.finish()
+        stats.events_processed = sum(events)
+        for i, count in enumerate(events):
+            stats.per_partition_events[self.partitions[i].name] = count
+        return {self.partitions[i].name: results[i] for i in range(n)}
+
+
+# ---------------------------------------------------------------------------
+# transports
+# ---------------------------------------------------------------------------
+
+class _Transport:
+    """Backend seam: deliver round commands to workers, gather replies."""
+
+    def poll_next_times(self) -> List[float]:
+        raise NotImplementedError
+
+    def run_round(self, commands):
+        """``commands``: list of (index, horizon, mailbox); returns the
+        matching list of (next_time, outbox, events)."""
+        raise NotImplementedError
+
+    def finish(self) -> Tuple[List[Any], List[int]]:
+        raise NotImplementedError
+
+
+class _InlineTransport(_Transport):
+    """All workers in-process, driven in partition-index order."""
+
+    def __init__(self, coordinator: _Coordinator, seed: int):
+        self.workers = [
+            _Worker(spec, i, seed, coordinator.out_lookahead_for(i))
+            for i, spec in enumerate(coordinator.partitions)]
+
+    def poll_next_times(self) -> List[float]:
+        return [w.engine.peek() for w in self.workers]
+
+    def run_round(self, commands):
+        return [self.workers[i].run_round(horizon, mailbox)
+                for i, horizon, mailbox in commands]
+
+    def finish(self):
+        results = [w.finish() for w in self.workers]
+        events = [w.engine.events_processed for w in self.workers]
+        for w in self.workers:
+            w.engine.dispose()
+        return results, events
+
+
+def _process_worker_main(conn, spec: PartitionSpec, index: int, seed: int,
+                         out_lookahead: Dict[str, float]) -> None:
+    """Child-process loop: build once, then serve rounds off the pipe.
+
+    The cyclic GC is paused for the whole run and the engine disposed
+    at exit — the same policy as the single-core trial path
+    (:meth:`repro.mpichv.runtime.VclRuntime.dispose`), applied per
+    worker.
+    """
+    try:
+        with gc_paused():
+            worker = _Worker(spec, index, seed, out_lookahead)
+            conn.send(("ready", worker.engine.peek()))
+            while True:
+                cmd, payload = conn.recv()
+                if cmd == "round":
+                    horizon, mailbox = payload
+                    conn.send(("reply", worker.run_round(horizon, mailbox)))
+                elif cmd == "finish":
+                    conn.send(("result", (worker.finish(),
+                                          worker.engine.events_processed)))
+                    worker.engine.dispose()
+                    return
+                else:       # pragma: no cover - defensive
+                    raise RuntimeError(f"unknown command {cmd!r}")
+    except BaseException as err:   # ship the failure, don't hang the parent
+        try:
+            conn.send(("error", f"{type(err).__name__}: {err}"))
+        except (OSError, ValueError):
+            pass
+        raise
+    finally:
+        conn.close()
+
+
+class _ProcessTransport(_Transport):
+    """One forked OS process per partition; commands over pipes.
+
+    Rounds are issued to every scheduled worker before any reply is
+    awaited, so partitions execute their windows concurrently — this
+    is where the multicore scaling comes from.
+    """
+
+    def __init__(self, coordinator: _Coordinator, seed: int):
+        import multiprocessing
+        ctx = multiprocessing.get_context("fork")
+        self.conns = []
+        self.procs = []
+        try:
+            for i, spec in enumerate(coordinator.partitions):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_process_worker_main,
+                    args=(child, spec, i, seed,
+                          coordinator.out_lookahead_for(i)),
+                    daemon=True)
+                proc.start()
+                child.close()
+                self.conns.append(parent)
+                self.procs.append(proc)
+        except BaseException:
+            self.close()
+            raise
+        self._initial = [self._expect(i, "ready") for i in
+                         range(len(self.conns))]
+
+    def _expect(self, index: int, kind: str):
+        tag, payload = self.conns[index].recv()
+        if tag == "error":
+            self.close()
+            raise RuntimeError(f"partition worker {index} failed: {payload}")
+        if tag != kind:     # pragma: no cover - defensive
+            self.close()
+            raise RuntimeError(f"expected {kind!r} from worker {index}, "
+                               f"got {tag!r}")
+        return payload
+
+    def poll_next_times(self) -> List[float]:
+        return list(self._initial)
+
+    def run_round(self, commands):
+        for i, horizon, mailbox in commands:
+            self.conns[i].send(("round", (horizon, mailbox)))
+        return [self._expect(i, "reply") for i, _h, _m in commands]
+
+    def finish(self):
+        for conn in self.conns:
+            conn.send(("finish", None))
+        payloads = [self._expect(i, "result")
+                    for i in range(len(self.conns))]
+        self.close()
+        return [p[0] for p in payloads], [p[1] for p in payloads]
+
+    def close(self) -> None:
+        for conn in getattr(self, "conns", []):
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in getattr(self, "procs", []):
+            proc.join(timeout=5)
+            if proc.is_alive():     # pragma: no cover - defensive
+                proc.terminate()
+
+
+def fork_available() -> bool:
+    """Can this platform run the ``processes`` backend?"""
+    import multiprocessing
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+class ParallelSimulation:
+    """A partitioned simulation ready to run.
+
+    >>> sim = ParallelSimulation(partitions, channels, seed=7)
+    >>> results = sim.run()          # dict: partition name -> finish()
+    >>> sim.stats.null_messages      # synchronization effort
+    """
+
+    def __init__(self, partitions: Sequence[PartitionSpec],
+                 channels: Sequence[ChannelSpec],
+                 seed: int = 0, backend: str = "auto",
+                 until: Optional[float] = None):
+        if backend not in ("auto", "inline", "processes"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if backend == "auto":
+            backend = ("processes"
+                       if len(partitions) > 1 and fork_available()
+                       else "inline")
+        if backend == "processes" and not fork_available():
+            raise RuntimeError("the processes backend needs the fork start "
+                               "method; use backend='inline'")
+        self.backend = backend
+        self.seed = seed
+        self.until = until
+        self._coordinator = _Coordinator(partitions, channels, backend)
+        self.stats = self._coordinator.stats
+        self.results: Optional[Dict[str, Any]] = None
+
+    def run(self) -> Dict[str, Any]:
+        if self.backend == "processes":
+            transport: _Transport = _ProcessTransport(self._coordinator,
+                                                      self.seed)
+        else:
+            transport = _InlineTransport(self._coordinator, self.seed)
+        try:
+            self.results = self._coordinator.run(transport, until=self.until)
+        except BaseException:
+            if isinstance(transport, _ProcessTransport):
+                transport.close()
+            raise
+        return self.results
+
+
+def run_partitioned(partitions: Sequence[PartitionSpec],
+                    channels: Sequence[ChannelSpec],
+                    seed: int = 0, backend: str = "auto",
+                    until: Optional[float] = None
+                    ) -> Tuple[Dict[str, Any], ParallelStats]:
+    """One-shot helper: build, run, return ``(results, stats)``."""
+    sim = ParallelSimulation(partitions, channels, seed=seed,
+                             backend=backend, until=until)
+    results = sim.run()
+    return results, sim.stats

@@ -1,0 +1,192 @@
+"""Golden determinism matrix for the partitioned engine.
+
+The deployment parallel mode (``TrialSetup.engine_workers > 1``, see
+``docs/parallel-engine.md``) must be *bit-identical* to the
+single-engine reference: same trace records, same event counts, same
+verdicts, at every worker count.  The digests pinned here were
+computed in reference mode (``engine_workers=1``) and every worker
+count must reproduce them — any drift means the horizon windowing
+reordered events, the lookahead bound was unsound, or the partition
+accounting leaked into simulation behaviour.
+
+The ``uniform`` rows deliberately share their setup with
+``tests/test_engine_fastpath.py`` — their digests are the same pinned
+constants, so a drift in either file points at the same engine.
+
+The faulted row also pins the severance-scan ordering fix: partition
+injection scans live connections in *creation order* (an
+insertion-ordered dict in ``Network._sockets``), not in address-
+dependent set order — the digest is stable across processes and
+worker counts only because of that.
+"""
+
+import dataclasses
+import hashlib
+
+import pytest
+
+from repro.experiments.harness import TrialSetup
+from repro.experiments.runner import TrialRunner, trial_key
+from repro.explore.generators import (MASTER, NODE_DAEMON, Heal, TimedKill,
+                                      TimedPartition, render_plan)
+from repro.netmodel import TopologySpec
+
+WORKER_COUNTS = (1, 2, 4)
+
+TOPOLOGIES = {
+    "uniform": TopologySpec("uniform"),
+    "twotier": TopologySpec("twotier", rack_size=4, oversubscription=2.0),
+}
+
+#: kill one rank mid-run, cut a machine off the fabric, heal 20 s later
+FAULT_PLAN = (TimedKill(at=45, target=0),
+              TimedPartition(at=60, targets=(1,)),
+              Heal(after=20))
+
+#: (protocol, n_ckpt_servers, topology) -> (trace digest, events), fault-free
+GOLDEN_CLEAN = {
+    ("vcl", 1, "uniform"):
+        ("6cc3065ebbf0dc039f1fb0187d5a12f2f303ee43c1c5999dc0926df995bfddce",
+         1744),
+    ("vcl", 1, "twotier"):
+        ("c9ee550f8153c86c5f4a7f39a56710c040a98db35a3606ee25f0f59b0db2fc72",
+         1744),
+    ("vcl", 4, "uniform"):
+        ("178688c39548d6626dbb62827b0d4a644fbf81cb187f494d30dde10eab88441d",
+         1786),
+    ("vcl", 4, "twotier"):
+        ("edb24d635da8b9a36b46675d1010d64013c4b91f0fc916f4e355cd1a84a12911",
+         1786),
+    ("v2", 1, "uniform"):
+        ("2208a1a318b3f1851eba4841edc6b09fc6cb669487cd9de5a031cfb2916e5bea",
+         2553),
+    ("v2", 1, "twotier"):
+        ("29fce32e319e2a89f818b74eb3ce7416a271305e692206e7348ab20dd12171e4",
+         2550),
+    ("v2", 4, "uniform"):
+        ("be8835319b9f92e9d4562ccdd95d76cc695d05546718506ddd0f9c86b53f01b2",
+         2559),
+    ("v2", 4, "twotier"):
+        ("89304cf4b4af748601877f8df7cb12880930a519fcb1150d395263c2c6d057ef",
+         2556),
+    ("v1", 1, "uniform"):
+        ("de988038cc5fcf283f4fdfdb1e62145e62b22ce4b6579932d8f3cf152ace4070",
+         1949),
+    ("v1", 1, "twotier"):
+        ("d76e1974230bf887686bce88bb06ce150735d7742a3a692f0f4c4604b6cd75e5",
+         1946),
+    ("v1", 4, "uniform"):
+        ("fb39f736d8351827e15735b7b0f6a602af9256ee444f8fdc4621eac7a5db9262",
+         1955),
+    ("v1", 4, "twotier"):
+        ("ffef3985901d8dc1814d9ea433d432d20254053a034c85346b02b22f299feea8",
+         1952),
+}
+
+#: kill + partition/heal (recovery traffic crosses the engine cut)
+GOLDEN_FAULTED = {
+    ("vcl", 4, "twotier"):
+        ("6bc10cbe5091fd53a3c65f3cb7b46e5ef284f1de8e86b3e68ad69011f2d7bfd1",
+         27993),
+}
+
+
+def _setup(protocol, shards, topo, engine_workers, faulty=False):
+    scenario = render_plan(FAULT_PLAN) if faulty else None
+    return TrialSetup(
+        n_procs=4, n_machines=7, protocol=protocol, timeout=300.0,
+        workload="ring", niters=40, total_compute=1280.0, footprint=1e8,
+        keep_trace=True, scenario_source=scenario,
+        master_daemon=MASTER if faulty else None,
+        node_daemon=NODE_DAEMON if faulty else None,
+        config_overrides={"n_ckpt_servers": shards,
+                          "topology": TOPOLOGIES[topo]},
+        engine_workers=engine_workers)
+
+
+def _digest(result):
+    h = hashlib.sha256()
+    for rec in result.trace.records:
+        h.update(repr((round(rec.t, 9), rec.kind,
+                       sorted(rec.fields.items()))).encode())
+    return h.hexdigest(), result.events_processed
+
+
+@pytest.mark.parametrize("engine_workers", WORKER_COUNTS)
+@pytest.mark.parametrize("topo", ["uniform", "twotier"])
+@pytest.mark.parametrize("shards", [1, 4])
+@pytest.mark.parametrize("protocol", ["vcl", "v2", "v1"])
+def test_clean_matrix_matches_reference_digest(protocol, shards, topo,
+                                               engine_workers):
+    setup = _setup(protocol, shards, topo, engine_workers)
+    result = setup.run_one(seed=7)
+    assert _digest(result) == GOLDEN_CLEAN[(protocol, shards, topo)]
+    assert result.engine_workers == engine_workers
+
+
+@pytest.mark.parametrize("engine_workers", WORKER_COUNTS)
+def test_faulted_trial_matches_reference_digest(engine_workers):
+    setup = _setup("vcl", 4, "twotier", engine_workers, faulty=True)
+    result = setup.run_one(seed=7)
+    assert _digest(result) == GOLDEN_FAULTED[("vcl", 4, "twotier")]
+
+
+def test_parallel_execution_metadata_is_surfaced():
+    """engine_workers > 1 records its window/null-message accounting on
+    the result; the reference run records none (metadata only — the
+    simulated history is identical, as the digests above prove)."""
+    ref = _setup("vcl", 1, "uniform", 1).run_one(seed=7)
+    assert ref.engine_workers == 1
+    assert ref.parallel is None
+    assert ref.wall_seconds > 0.0
+
+    par = _setup("vcl", 1, "uniform", 2).run_one(seed=7)
+    assert par.engine_workers == 2
+    stats = par.parallel
+    assert stats["partitions"] == 2
+    assert stats["windows"] > 0
+    assert stats["channels"] == 2           # 2 groups, both directions
+    assert stats["min_lookahead"] > 0.0
+    # null messages = silent (group, group) channels summed per window
+    assert stats["null_messages"] == \
+        stats["windows"] * stats["channels"] - stats["payload_windows"]
+
+
+# ---------------------------------------------------------------------------
+# cache-key neutrality: engine_workers changes HOW a trial executes,
+# never WHAT it simulates — so it must not change the trial's cache slot
+# ---------------------------------------------------------------------------
+
+def test_trial_key_ignores_engine_workers():
+    setup = _setup("vcl", 1, "uniform", 1)
+    key = trial_key(setup, 7)
+    for workers in (2, 4, 16):
+        rewritten = dataclasses.replace(setup, engine_workers=workers)
+        assert trial_key(rewritten, 7) == key
+
+
+def test_trial_key_still_separates_real_configuration():
+    setup = _setup("vcl", 1, "uniform", 1)
+    key = trial_key(setup, 7)
+    assert trial_key(setup, 8) != key
+    assert trial_key(dataclasses.replace(setup, protocol="v2"), 7) != key
+    assert trial_key(dataclasses.replace(setup, niters=41), 7) != key
+    assert trial_key(_setup("vcl", 1, "twotier", 1), 7) != key
+    assert trial_key(_setup("vcl", 4, "uniform", 1), 7) != key
+
+
+def test_cached_reference_run_satisfies_parallel_request(tmp_path):
+    """A trial cached by a reference run is a hit for the same trial
+    requested with engine_workers > 1 (and vice versa) — the key is
+    shared because the results are bit-identical.  The cached result
+    keeps the execution metadata of the run that actually happened."""
+    setup = _setup("vcl", 1, "uniform", 1)
+    ref_runner = TrialRunner(cache_dir=str(tmp_path))
+    [ref] = ref_runner.run_jobs([(setup, 7)])
+    assert ref_runner.stats.snapshot() == (1, 0)
+
+    par_runner = TrialRunner(cache_dir=str(tmp_path), engine_workers=4)
+    [hit] = par_runner.run_jobs([(setup, 7)])
+    assert par_runner.stats.snapshot() == (0, 1)
+    assert hit.engine_workers == 1          # metadata of the cached run
+    assert _digest(hit)[1] == _digest(ref)[1]

@@ -1,0 +1,421 @@
+"""The conservative parallel kernel (:mod:`repro.simkernel.parallel`).
+
+Covers the CMB guarantees the deployment integration leans on: safe
+horizons are never violated, cyclic channel graphs do not deadlock,
+the inline and process backends replay identical histories, lookahead
+violations are rejected loudly, and the synchronization accounting
+(rounds, payload vs null messages) adds up.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.simkernel.parallel import (
+    ChannelSpec,
+    LookaheadViolation,
+    ParallelSimulation,
+    PartitionSpec,
+    fork_available,
+    run_partitioned,
+    safe_horizons,
+)
+
+INF = math.inf
+
+
+# ---------------------------------------------------------------------------
+# model builders (module level so the processes backend can fork them)
+# ---------------------------------------------------------------------------
+
+def build_pingpong(ctx, peer, n_rounds, record):
+    """Bounce a counter between two partitions via ctx.send."""
+    log = []
+    record[:] = [log]       # keep a handle the finisher can reach
+
+    def on_msg(src, msg):
+        log.append((round(ctx.engine.now, 9), src, msg))
+        if msg < n_rounds:
+            ctx.send(peer, msg + 1)
+    ctx.on_receive(on_msg)
+    if ctx.index == 0:      # partition 0 serves
+        ctx.engine.call_later(0.5, lambda: ctx.send(peer, 1))
+
+
+def finish_log(ctx):
+    return list(ctx._finish_payload)
+
+
+def build_logged(ctx, peer, n_rounds):
+    record = []
+    build_pingpong(ctx, peer, n_rounds, record)
+    ctx._finish_payload = record[0]
+
+
+def build_ring_node(ctx, nxt, hops):
+    """Ring of partitions each forwarding a token ``hops`` times."""
+    log = []
+    ctx._finish_payload = log
+
+    def on_msg(src, msg):
+        log.append((round(ctx.engine.now, 9), src, msg))
+        if msg < hops:
+            ctx.send(nxt, msg + 1)
+    ctx.on_receive(on_msg)
+    if ctx.index == 0:
+        ctx.engine.call_later(1.0, lambda: ctx.send(nxt, 1))
+
+
+def build_local_only(ctx, n_events):
+    """Pure local work, no cross-partition traffic."""
+    log = []
+    ctx._finish_payload = log
+    for i in range(n_events):
+        ctx.engine.call_later(0.1 * (i + 1),
+                              (lambda k: lambda: log.append(k))(i))
+
+
+def build_mixed(ctx, peer, seed_check):
+    """Local randomized timers plus cross traffic — exercises the
+    per-partition seeded RNG and interleaved delivery."""
+    log = []
+    ctx._finish_payload = log
+    rng = ctx.engine.random
+
+    def on_msg(src, msg):
+        log.append(("rx", round(ctx.engine.now, 9), src, msg))
+        if msg < 6:
+            ctx.send(peer, msg + 1, delay=0.25 + rng.random() * 0.25)
+
+    ctx.on_receive(on_msg)
+    for i in range(5):
+        delay = rng.uniform(0.1, 2.0)
+        ctx.engine.call_later(
+            delay, (lambda d: lambda: log.append(("tick", round(d, 9))))(delay))
+    if ctx.index == 0:
+        ctx.engine.call_later(0.3, lambda: ctx.send(peer, 1))
+
+
+def build_horizon_guard(ctx, peer):
+    """Records (now, peek) at every dispatch so the test can prove no
+    event ran at/after a time a cross message later arrived at."""
+    arrivals = []
+    ctx._finish_payload = arrivals
+
+    def on_msg(src, msg):
+        arrivals.append(round(ctx.engine.now, 9))
+        if msg < 20:
+            ctx.send(peer, msg + 1)
+    ctx.on_receive(on_msg)
+    if ctx.index == 0:
+        ctx.engine.call_later(0.1, lambda: ctx.send(peer, 1))
+
+
+def build_violator(ctx, peer):
+    def fire():
+        ctx.send(peer, "too-soon", delay=0.001)   # channel lookahead is 0.5
+    ctx.engine.call_later(1.0, fire)
+    ctx.on_receive(lambda src, msg: None)
+
+
+def build_late_sender(ctx, peer):
+    """Sends its only message long after t=0 — forces many silent
+    (null-message) rounds on the reverse channel."""
+    ctx.on_receive(lambda src, msg: None)
+    if ctx.index == 0:
+        for i in range(10):
+            ctx.engine.call_later(float(i + 1), lambda: None)
+        ctx.engine.call_later(10.0, lambda: ctx.send(peer, "late"))
+    else:
+        ctx._got = []
+        ctx.on_receive(lambda src, msg: ctx._got.append(
+            (round(ctx.engine.now, 9), msg)))
+
+
+def finish_got(ctx):
+    return list(getattr(ctx, "_got", []))
+
+
+# ---------------------------------------------------------------------------
+# spec validation
+# ---------------------------------------------------------------------------
+
+def test_channel_requires_positive_lookahead():
+    with pytest.raises(ValueError, match="lookahead > 0"):
+        ChannelSpec("a", "b", 0.0)
+    with pytest.raises(ValueError, match="lookahead > 0"):
+        ChannelSpec("a", "b", -1.0)
+    with pytest.raises(ValueError, match="self-loop"):
+        ChannelSpec("a", "a", 1.0)
+
+
+def test_coordinator_rejects_bad_graphs():
+    parts = [PartitionSpec("a", build_local_only, (1,)),
+             PartitionSpec("b", build_local_only, (1,))]
+    with pytest.raises(ValueError, match="not a declared partition"):
+        ParallelSimulation(parts, [ChannelSpec("a", "zz", 1.0)],
+                           backend="inline")
+    with pytest.raises(ValueError, match="duplicate channel"):
+        ParallelSimulation(parts, [ChannelSpec("a", "b", 1.0),
+                                   ChannelSpec("a", "b", 2.0)],
+                           backend="inline")
+    with pytest.raises(ValueError, match="duplicate partition names"):
+        ParallelSimulation([parts[0], parts[0]], [], backend="inline")
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown backend"):
+        ParallelSimulation([], [], backend="threads")
+
+
+# ---------------------------------------------------------------------------
+# safe-horizon fixpoint
+# ---------------------------------------------------------------------------
+
+def test_safe_horizons_open_graph():
+    # no inbound channels -> unbounded
+    assert safe_horizons([5.0, 7.0], [[], []]) == [INF, INF]
+
+
+def test_safe_horizons_chain():
+    # a -> b -> c with L=1: b bounded by a, c by b's *bound*, not just
+    # b's next time (a blocked sender cannot emit either).
+    inbound = [[], [(0, 1.0)], [(1, 1.0)]]
+    hs = safe_horizons([3.0, 100.0, 100.0], inbound)
+    assert hs == [INF, 4.0, 5.0]
+
+
+def test_safe_horizons_cycle_advances():
+    # Mutual cycle with positive lookahead must still grant progress
+    # past the global minimum — the CMB deadlock-avoidance property.
+    inbound = [[(1, 0.5)], [(0, 0.5)]]
+    hs = safe_horizons([10.0, 10.0], inbound)
+    assert hs == [10.5, 10.5]
+    # asymmetric times: the later partition is bounded by the earlier
+    hs = safe_horizons([2.0, 9.0], inbound)
+    assert hs[0] == pytest.approx(9.0 + 0.5) or hs[0] >= 2.5
+    assert hs[1] == pytest.approx(2.5)
+    # and the granted horizon always exceeds the global min time
+    assert min(hs) > 2.0
+
+
+def test_safe_horizons_all_idle():
+    inbound = [[(1, 1.0)], [(0, 1.0)]]
+    assert safe_horizons([INF, INF], inbound) == [INF, INF]
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: inline backend
+# ---------------------------------------------------------------------------
+
+def _pingpong_parts(n_rounds=8):
+    return ([PartitionSpec("a", build_logged, ("b", n_rounds),
+                           finish=finish_log),
+             PartitionSpec("b", build_logged, ("a", n_rounds),
+                           finish=finish_log)],
+            [ChannelSpec("a", "b", 0.5), ChannelSpec("b", "a", 0.5)])
+
+
+def test_pingpong_inline_full_history():
+    parts, chans = _pingpong_parts(8)
+    results, stats = run_partitioned(parts, chans, seed=3, backend="inline")
+    # 8 bounces: odd counters land on b, even on a
+    assert [m for _t, _s, m in results["b"]] == [1, 3, 5, 7]
+    assert [m for _t, _s, m in results["a"]] == [2, 4, 6, 8]
+    # arrivals advance by exactly the channel lookahead each hop
+    times = sorted(t for log in results.values() for t, _s, _m in log)
+    assert times == pytest.approx([0.5 + 0.5 * k for k in range(1, 9)])
+    assert stats.payload_messages == 8
+    assert stats.partitions == 2
+    assert stats.rounds > 0
+    assert stats.events_processed >= 8
+
+
+def test_ring_does_not_deadlock():
+    # 4-partition directed ring — the canonical conservative-DES
+    # deadlock shape; null-message lookahead must carry it through.
+    names = ["r0", "r1", "r2", "r3"]
+    parts = [PartitionSpec(n, build_ring_node,
+                           (names[(i + 1) % 4], 12), finish=finish_log)
+             for i, n in enumerate(names)]
+    chans = [ChannelSpec(n, names[(i + 1) % 4], 0.25)
+             for i, n in enumerate(names)]
+    results, stats = run_partitioned(parts, chans, seed=5, backend="inline")
+    hops = sorted(m for log in results.values() for _t, _s, m in log)
+    assert hops == list(range(1, 13))
+    assert stats.null_messages > 0        # idle channels were granted time
+
+
+def test_no_cross_partition_event_reordering():
+    # Every recorded arrival time must be strictly increasing per the
+    # alternating protocol — a horizon violation would deliver into a
+    # partition's past and _deliver raises LookaheadViolation instead.
+    parts = [PartitionSpec("a", build_horizon_guard, ("b",),
+                           finish=finish_log),
+             PartitionSpec("b", build_horizon_guard, ("a",),
+                           finish=finish_log)]
+    chans = [ChannelSpec("a", "b", 0.125), ChannelSpec("b", "a", 0.125)]
+    results, _stats = run_partitioned(parts, chans, backend="inline")
+    merged = sorted(results["a"] + results["b"])
+    assert merged == sorted(set(merged))          # no duplicate instants
+    assert len(merged) == 20
+
+
+def test_send_under_lookahead_raises():
+    parts = [PartitionSpec("a", build_violator, ("b",)),
+             PartitionSpec("b", build_violator, ("a",))]
+    chans = [ChannelSpec("a", "b", 0.5), ChannelSpec("b", "a", 0.5)]
+    with pytest.raises(LookaheadViolation, match="under the channel "
+                                                 "lookahead"):
+        run_partitioned(parts, chans, backend="inline")
+
+
+def test_send_without_channel_raises():
+    def build(ctx):
+        ctx.engine.call_later(1.0, lambda: ctx.send("nowhere", 1))
+        ctx.on_receive(lambda s, m: None)
+    with pytest.raises(ValueError, match="no channel"):
+        run_partitioned([PartitionSpec("solo", build)], [],
+                        backend="inline")
+
+
+def test_missing_handler_is_an_error():
+    def build_sender(ctx, peer):
+        ctx.on_receive(lambda s, m: None)
+        ctx.engine.call_later(0.1, lambda: ctx.send(peer, "x"))
+
+    def build_deaf(ctx, peer):
+        pass        # never registers on_receive
+    parts = [PartitionSpec("a", build_sender, ("b",)),
+             PartitionSpec("b", build_deaf, ("a",))]
+    chans = [ChannelSpec("a", "b", 0.5), ChannelSpec("b", "a", 0.5)]
+    with pytest.raises(RuntimeError, match="no on_receive handler"):
+        run_partitioned(parts, chans, backend="inline")
+
+
+def test_local_only_partitions_drain():
+    parts = [PartitionSpec("a", build_local_only, (5,), finish=finish_log),
+             PartitionSpec("b", build_local_only, (3,), finish=finish_log)]
+    results, stats = run_partitioned(parts, [], backend="inline")
+    assert results["a"] == [0, 1, 2, 3, 4]
+    assert results["b"] == [0, 1, 2]
+    assert stats.payload_messages == 0
+    assert stats.null_messages == 0       # no channels to keep warm
+    assert stats.events_processed == 8
+
+
+def test_until_cap_stops_the_run():
+    parts, chans = _pingpong_parts(1000)
+    results, _stats = run_partitioned(parts, chans, backend="inline",
+                                      until=3.0)
+    times = [t for log in results.values() for t, _s, _m in log]
+    assert times and max(times) <= 3.0
+    # events at exactly the cap still run (reference `run(until=...)`
+    # semantics: the bound is inclusive)
+    assert 3.0 in times
+
+
+def test_null_message_accounting():
+    # One silent direction for ~10 simulated seconds: the reverse
+    # channel carries nothing but horizon grants until the payload.
+    parts = [PartitionSpec("src", build_late_sender, ("dst",)),
+             PartitionSpec("dst", build_late_sender, ("src",),
+                           finish=finish_got)]
+    chans = [ChannelSpec("src", "dst", 1.0), ChannelSpec("dst", "src", 1.0)]
+    results, stats = run_partitioned(parts, chans, backend="inline")
+    assert results["dst"] == [(11.0, "late")]
+    assert stats.payload_messages == 1
+    # every round grants both channels; only one grant ever carried a
+    # payload
+    assert stats.null_messages == stats.rounds * 2 - 1
+    assert stats.min_lookahead == 1.0
+
+
+def test_per_partition_event_counts():
+    parts = [PartitionSpec("a", build_local_only, (5,)),
+             PartitionSpec("b", build_local_only, (3,))]
+    _results, stats = run_partitioned(parts, [], backend="inline")
+    assert stats.per_partition_events == {"a": 5, "b": 3}
+
+
+# ---------------------------------------------------------------------------
+# inline == processes (bit-for-bit)
+# ---------------------------------------------------------------------------
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="fork start method unavailable")
+
+
+@needs_fork
+def test_pingpong_processes_matches_inline():
+    parts, chans = _pingpong_parts(8)
+    ref, ref_stats = run_partitioned(parts, chans, seed=3, backend="inline")
+    par, par_stats = run_partitioned(parts, chans, seed=3,
+                                     backend="processes")
+    assert par == ref
+    assert par_stats.payload_messages == ref_stats.payload_messages
+    assert par_stats.null_messages == ref_stats.null_messages
+    assert par_stats.rounds == ref_stats.rounds
+    assert par_stats.events_processed == ref_stats.events_processed
+    assert par_stats.backend == "processes"
+
+
+@needs_fork
+def test_mixed_random_processes_matches_inline():
+    # Randomized local timers + randomized cross delays: any seed or
+    # ordering drift between the backends shows up immediately.
+    parts = [PartitionSpec("a", build_mixed, ("b", None),
+                           finish=finish_log),
+             PartitionSpec("b", build_mixed, ("a", None),
+                           finish=finish_log)]
+    chans = [ChannelSpec("a", "b", 0.25), ChannelSpec("b", "a", 0.25)]
+    ref, _ = run_partitioned(parts, chans, seed=11, backend="inline")
+    par, _ = run_partitioned(parts, chans, seed=11, backend="processes")
+    assert par == ref
+    # different seed -> different history (the test has teeth)
+    other, _ = run_partitioned(parts, chans, seed=12, backend="inline")
+    assert other != ref
+
+
+@needs_fork
+def test_ring_processes_matches_inline():
+    names = ["r0", "r1", "r2", "r3"]
+    parts = [PartitionSpec(n, build_ring_node,
+                           (names[(i + 1) % 4], 12), finish=finish_log)
+             for i, n in enumerate(names)]
+    chans = [ChannelSpec(n, names[(i + 1) % 4], 0.25)
+             for i, n in enumerate(names)]
+    ref, _ = run_partitioned(parts, chans, seed=5, backend="inline")
+    par, _ = run_partitioned(parts, chans, seed=5, backend="processes")
+    assert par == ref
+
+
+@needs_fork
+def test_worker_build_failure_propagates():
+    def build_boom(ctx):
+        raise RuntimeError("boom in worker")
+    with pytest.raises(RuntimeError, match="boom in worker"):
+        run_partitioned([PartitionSpec("bad", build_boom)], [],
+                        backend="processes")
+
+
+def test_auto_backend_selection():
+    parts = [PartitionSpec("a", build_local_only, (1,))]
+    sim = ParallelSimulation(parts, [], backend="auto")
+    assert sim.backend == "inline"        # single partition: no point forking
+    parts2 = [PartitionSpec("a", build_local_only, (1,)),
+              PartitionSpec("b", build_local_only, (1,))]
+    sim2 = ParallelSimulation(parts2, [], backend="auto")
+    assert sim2.backend == ("processes" if fork_available() else "inline")
+
+
+def test_stats_as_dict_round_trips():
+    parts, chans = _pingpong_parts(4)
+    _results, stats = run_partitioned(parts, chans, backend="inline")
+    d = stats.as_dict()
+    assert d["backend"] == "inline"
+    assert d["payload_messages"] == 4
+    assert d["partitions"] == 2
+    assert set(d["per_partition_events"]) == {"a", "b"}

@@ -218,3 +218,40 @@ def test_bt_fault_free_run(benchmark):
 
     res = benchmark.pedantic(run, rounds=3, iterations=1)
     assert res.outcome.value == "terminated"
+
+
+@pytest.mark.benchmark(group="micro")
+def test_obs_span_off_switch_overhead(benchmark):
+    """The instrumented call sites with observation OFF: every
+    ``engine.span(...)`` must collapse to one attribute read plus the
+    shared null handle, because this is what every unobserved trial
+    (and the dispatch gate) pays at each instrumentation point."""
+    N = 20000
+
+    def run():
+        eng = Engine(seed=0)
+        assert eng.obs is None
+        for i in range(N):
+            eng.span("transfer", lane="m1", rank=i).close()
+        return N
+
+    assert benchmark(run) == N
+
+
+@pytest.mark.benchmark(group="micro")
+def test_obs_span_record_throughput(benchmark):
+    """Span open/close against a live recorder — the observability
+    hot path of an instrumented trial (checkpoint transfers dominate
+    span volume at scale)."""
+    from repro.obs import Obs
+
+    N = 20000
+
+    def run():
+        eng = Engine(seed=0)
+        eng.obs = Obs(eng)
+        for i in range(N):
+            eng.span("transfer", lane="m1", rank=i).close()
+        return len(eng.obs.spans)
+
+    assert benchmark(run) == N

@@ -32,9 +32,15 @@ GATED_PREFIXES = (
     "test_engine_callback_dispatch_throughput",
     "test_engine_scale_512_delivery_throughput",
     "test_network_delivery_throughput",
+    "test_obs_span_off_switch_overhead",
     "test_parallel_cross_delivery_throughput",
     "test_parallel_null_message_overhead",
 )
+# test_obs_span_record_throughput is tracked in the baseline but NOT
+# gated: allocating 20k Span objects makes it GC-bimodal (2-3x spread
+# between rounds on the same machine), which a 1.5x gate would flake
+# on.  The off-switch path above is the one every unobserved trial
+# pays, so that is what the gate enforces.
 
 DEFAULT_THRESHOLD = 1.5
 

@@ -68,6 +68,8 @@ class CampaignTimer:
             "total_executed": stats.executed,
             "total_cache_hits": stats.cache_hits,
             "cache_hit_rate": round(stats.hit_rate, 4),
+            "runner_stats": stats.to_doc(),
+            "obs_overhead": scale_sweep.obs_overhead_row(),
             "figures": self.figures,
         }
 
@@ -128,6 +130,7 @@ def main():
     with open(args.bench_out, "w", encoding="utf-8") as fh:
         json.dump(summary, fh, indent=2)
         fh.write("\n")
+    print(f"[runner] {runner.stats.describe()}", flush=True)
     banner(f"campaign summary written to {args.bench_out}")
     print(json.dumps(summary, indent=2), flush=True)
 

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Schema validation for exported Chrome-trace JSON (CI obs-smoke).
+
+Checks the structural contract that chrome://tracing and Perfetto rely
+on — no external schema library, just the rules the exporter promises:
+
+* top level: ``traceEvents`` (list), ``displayTimeUnit``, ``otherData``
+* every event has ``ph``/``pid``/``tid``; metadata (``ph: "M"``) events
+  name processes and threads; complete (``ph: "X"``) events carry
+  integer non-negative ``ts``/``dur`` and a ``name``
+* every ``X`` event's ``(pid, tid)`` was declared by a ``thread_name``
+  metadata event (no orphan lanes)
+* the simulated clock is declared (``otherData.clock == "simulated"``)
+
+Exit 0 when valid; exit 1 with every violation listed otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List
+
+
+def validate(doc: Any) -> List[str]:
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    if not events:
+        errors.append("traceEvents is empty")
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        errors.append(f"displayTimeUnit must be ms or ns, "
+                      f"got {doc.get('displayTimeUnit')!r}")
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or other.get("clock") != "simulated":
+        errors.append("otherData.clock must declare the simulated clock")
+
+    declared_lanes = set()
+    declared_pids = set()
+    spans = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ev.get("pid"), int) \
+                or not isinstance(ev.get("tid"), int):
+            errors.append(f"{where}: pid/tid must be integers")
+            continue
+        if ph == "M":
+            name = ev.get("name")
+            if name == "process_name":
+                declared_pids.add(ev["pid"])
+                if not (ev.get("args") or {}).get("name"):
+                    errors.append(f"{where}: process_name without a name")
+            elif name == "thread_name":
+                declared_lanes.add((ev["pid"], ev["tid"]))
+                if not (ev.get("args") or {}).get("name"):
+                    errors.append(f"{where}: thread_name without a name")
+            elif name != "thread_sort_index":
+                errors.append(f"{where}: unknown metadata event {name!r}")
+        elif ph == "X":
+            spans += 1
+            if not ev.get("name") or not isinstance(ev.get("name"), str):
+                errors.append(f"{where}: X event without a name")
+            for key in ("ts", "dur"):
+                v = ev.get(key)
+                if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    errors.append(f"{where}: {key} must be a non-negative "
+                                  f"integer, got {v!r}")
+            if (ev["pid"], ev["tid"]) not in declared_lanes:
+                errors.append(f"{where}: undeclared lane "
+                              f"(pid={ev['pid']}, tid={ev['tid']})")
+            if ev["pid"] not in declared_pids:
+                errors.append(f"{where}: undeclared pid {ev['pid']}")
+        else:
+            errors.append(f"{where}: unexpected phase {ph!r}")
+    if not spans:
+        errors.append("no complete (ph=X) span events")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("paths", nargs="+",
+                        help="Chrome-trace JSON file(s) to validate")
+    parser.add_argument("--min-spans", type=int, default=1, metavar="N",
+                        help="require at least N span events (default: 1)")
+    args = parser.parse_args()
+
+    failed = False
+    for path in args.paths:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as err:
+            print(f"{path}: unreadable ({err})")
+            failed = True
+            continue
+        errors = validate(doc)
+        n_spans = sum(1 for e in doc.get("traceEvents", [])
+                      if isinstance(e, dict) and e.get("ph") == "X")
+        if n_spans < args.min_spans:
+            errors.append(f"expected >= {args.min_spans} span events, "
+                          f"found {n_spans}")
+        if errors:
+            failed = True
+            print(f"{path}: INVALID")
+            for e in errors[:50]:
+                print(f"  - {e}")
+        else:
+            kinds: Dict[str, int] = {}
+            for e in doc["traceEvents"]:
+                if e.get("ph") == "X":
+                    kinds[e["name"]] = kinds.get(e["name"], 0) + 1
+            summary = ", ".join(f"{k} x{v}" for k, v in sorted(kinds.items()))
+            print(f"{path}: ok ({n_spans} spans: {summary})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,8 @@ COMMANDS = {
                         "protocol x topology x oversubscription sweep"),
     "scale-sweep": ("repro.experiments.scale_sweep",
                     "protocol x ranks x ckpt-server shards, up to 512 ranks"),
+    "timeline": ("repro.experiments.timeline_cmd",
+                 "one observed trial: swimlanes, phase table, Chrome trace"),
 }
 
 #: legacy spellings kept working

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.analysis.traces import Trace
 
@@ -56,6 +56,13 @@ class RunVerdict:
     exec_time: Optional[float]
     last_activity: float
     reason: str
+    #: mean failure-detection latency over the run's ``detect`` spans
+    #: (simulated seconds), from the span rollups of the trial's
+    #: ``obs`` document; None when observation was off or fault-free
+    detect_latency: Optional[float] = None
+    #: total time spent replaying logged/recomputed history across all
+    #: recoveries (``replay`` span rollup); None when unobserved
+    replay_seconds: Optional[float] = None
 
     @property
     def terminated(self) -> bool:
@@ -80,8 +87,32 @@ def last_activity_time(trace: Trace) -> float:
     return best
 
 
+def _span_durations(obs: Optional[Dict[str, Any]], kind: str) -> list:
+    """Durations of one span kind from an ``obs`` document.
+
+    Works on the plain wire rows (``[t0, t1, kind, lane, fields]``,
+    see :mod:`repro.obs.spans`) so classification needs no obs import
+    and handles legacy/unobserved results (``None``) uniformly.
+    Truncated spans (closed artificially at end of run) are excluded —
+    their duration measures the kill time, not the phase.
+    """
+    if not obs:
+        return []
+    out = []
+    for row in obs.get("spans", ()):
+        if row[2] != kind:
+            continue
+        fields = row[4] or {}
+        if fields.get("_truncated"):
+            continue
+        t1 = row[1] if row[1] is not None else row[0]
+        out.append(t1 - row[0])
+    return out
+
+
 def classify_run(trace: Trace, timeout: float,
-                 freeze_threshold: float = 150.0) -> RunVerdict:
+                 freeze_threshold: float = 150.0,
+                 obs: Optional[Dict[str, Any]] = None) -> RunVerdict:
     """Classify one run from its trace.
 
     Parameters
@@ -94,7 +125,21 @@ def classify_run(trace: Trace, timeout: float,
         How long a gap with zero protocol activity before the timeout
         counts as a freeze.  Must exceed the largest fault inter-arrival
         time used by the scenario (the paper's max is 65 s).
+    obs:
+        The trial's observability document, when recorded.  The verdict
+        *outcome* never depends on it (trace-only classification is the
+        paper's method and must hold for unobserved/legacy results);
+        it only enriches the verdict with span-derived phase figures —
+        detection latency and total replay time.
     """
+    detects = _span_durations(obs, "detect")
+    detect_latency = (round(sum(detects) / len(detects), 9)
+                      if detects else None)
+    replays = _span_durations(obs, "replay")
+    # an observed run with no replay spans genuinely replayed nothing
+    # (e.g. vcl, which logs no messages) — that is 0.0, not unknown
+    replay_seconds = round(sum(replays), 9) if obs is not None else None
+
     done_t = trace.last_t("app_done")
     if done_t is not None:
         return RunVerdict(
@@ -102,6 +147,8 @@ def classify_run(trace: Trace, timeout: float,
             exec_time=done_t,
             last_activity=done_t,
             reason="application finalized",
+            detect_latency=detect_latency,
+            replay_seconds=replay_seconds,
         )
     t_act = last_activity_time(trace)
     idle = timeout - t_act
@@ -112,6 +159,8 @@ def classify_run(trace: Trace, timeout: float,
             last_activity=t_act,
             reason=(f"frozen: no protocol activity for {idle:.0f}s before "
                     f"timeout (last activity at t={t_act:.1f})"),
+            detect_latency=detect_latency,
+            replay_seconds=replay_seconds,
         )
     return RunVerdict(
         outcome=Outcome.NON_TERMINATING,
@@ -119,4 +168,6 @@ def classify_run(trace: Trace, timeout: float,
         last_activity=t_act,
         reason=(f"no progress but protocol kept cycling (last activity "
                 f"at t={t_act:.1f}, {idle:.0f}s before timeout)"),
+        detect_latency=detect_latency,
+        replay_seconds=replay_seconds,
     )

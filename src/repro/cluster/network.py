@@ -208,6 +208,8 @@ class Network:
         if host_a == host_b:
             raise ValueError("cannot cut a host from itself")
         self._cut_pairs.add(frozenset((host_a, host_b)))
+        self.engine.span("netsplit", lane="net", op="cut_link",
+                         hosts=sorted((host_a, host_b)))
         self._sever_spanning()
 
     def isolate(self, *hosts: str) -> None:
@@ -219,6 +221,8 @@ class Network:
         minority partition.
         """
         self._isolated.update(hosts)
+        self.engine.span("netsplit", lane="net", op="isolate",
+                         hosts=sorted(hosts))
         self._sever_spanning()
 
     def partition(self, groups: Sequence[Sequence[str]]) -> None:
@@ -233,6 +237,8 @@ class Network:
                     for b in gb:
                         if a != b:
                             self._cut_pairs.add(frozenset((a, b)))
+        self.engine.span("netsplit", lane="net", op="partition",
+                         groups=[sorted(g) for g in groups])
         self._sever_spanning()
 
     def heal(self) -> None:
@@ -245,6 +251,11 @@ class Network:
         """
         self._isolated.clear()
         self._cut_pairs.clear()
+        # one heal ends every open split at the same instant, so
+        # overlapping cuts close nested-at-boundary
+        obs = self.engine.obs
+        if obs is not None:
+            obs.close_all("netsplit", self.engine.now)
 
     def _sever_spanning(self) -> None:
         """Schedule severance of live connections that now span a cut."""

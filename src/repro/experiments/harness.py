@@ -66,6 +66,12 @@ class TrialSetup:
     #: history is bit-identical at every value, so :func:`trial_key`
     #: excludes it from the cache hash — same simulation, same slot.
     engine_workers: int = 1
+    #: record recovery-phase spans and the metrics registry (see
+    #: :mod:`repro.obs`).  Changes what the result *carries* (the
+    #: ``obs`` document), never what the simulation *does*, but it IS
+    #: part of the cache key — an observed and an unobserved result
+    #: are different wire documents and must not alias a cache slot.
+    observe: bool = True
 
     def build(self, seed: int):
         """Construct (runtime, deployment) for one repetition."""
@@ -93,7 +99,8 @@ class TrialSetup:
         )
         runtime = VclRuntime(config, workload.make_factory(), seed=seed,
                              keep_trace=self.keep_trace,
-                             engine_workers=self.engine_workers)
+                             engine_workers=self.engine_workers,
+                             observe=self.observe)
         deployment = None
         if self.scenario_source is not None:
             params = dict(self.scenario_params)

@@ -35,7 +35,13 @@ from repro.analysis.traces import Trace, TraceRecord
 from repro.mpichv.runtime import RunResult
 
 #: bump when the document layout changes; readers reject other versions
-FORMAT_VERSION = 6    # 6: engine-workers execution metadata
+FORMAT_VERSION = 7    # 7: the observability document (``obs``: span
+#                       rows + metrics registry, see repro.obs) and the
+#                       span-derived verdict fields (detect_latency,
+#                       replay_seconds).  Everything outside the obs
+#                       doc's ``exec`` section is a pure function of
+#                       the simulated history.
+#                       6: engine-workers execution metadata
 #                       (engine_workers, parallel accounting) on every
 #                       result.  wall_seconds is deliberately NOT
 #                       serialized: wall clock is never deterministic,
@@ -87,6 +93,8 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
             "exec_time": verdict.exec_time,
             "last_activity": verdict.last_activity,
             "reason": verdict.reason,
+            "detect_latency": verdict.detect_latency,
+            "replay_seconds": verdict.replay_seconds,
         },
         "trace": trace_to_dict(result.trace),
         "sim_time": result.sim_time,
@@ -106,6 +114,7 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
         "engine_workers": result.engine_workers,
         "parallel": (dict(result.parallel)
                      if result.parallel is not None else None),
+        "obs": result.obs,
     }
 
 
@@ -121,6 +130,8 @@ def run_result_from_dict(doc: Dict[str, Any]) -> RunResult:
         exec_time=v["exec_time"],
         last_activity=v["last_activity"],
         reason=v["reason"],
+        detect_latency=v.get("detect_latency"),
+        replay_seconds=v.get("replay_seconds"),
     )
     return RunResult(
         verdict=verdict,
@@ -142,6 +153,7 @@ def run_result_from_dict(doc: Dict[str, Any]) -> RunResult:
         engine_workers=int(doc.get("engine_workers", 1)),
         parallel=doc.get("parallel"),
         wall_seconds=float(doc.get("wall_seconds", 0.0)),
+        obs=doc.get("obs"),
     )
 
 

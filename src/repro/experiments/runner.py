@@ -34,9 +34,10 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.resultstore import (ResultStore, run_result_from_dict,
                                            run_result_to_dict)
@@ -47,7 +48,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 
 #: bump to invalidate every existing cache entry (key derivation or
 #: simulation semantics changed)
-CACHE_VERSION = 7        # 7: engine-workers execution metadata on
+CACHE_VERSION = 8        # 8: observability document on results
+#                          (result format 7); TrialSetup.observe joins
+#                          the key — observed and unobserved results
+#                          are different wire documents
+#                          7: engine-workers execution metadata on
 #                          results (result format 6); engine_workers
 #                          excluded from the key
 
@@ -77,12 +82,36 @@ def trial_key(setup: "TrialSetup", seed: int) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile of ``values`` (p in [0, 100])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (p / 100.0) * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
+
 @dataclass
 class RunnerStats:
-    """Where a campaign's trials came from."""
+    """Where a campaign's trials came from, and what they cost.
+
+    The wall-clock series here are the runner's *self-profiling* — they
+    describe this machine and this run, never the simulation, so they
+    are printed in campaign summaries and written to ``BENCH_*.json``
+    artifacts but are deliberately absent from the deterministic result
+    wire format (the ``wall_seconds`` lesson: see resultstore).
+    """
 
     executed: int = 0
     cache_hits: int = 0
+    #: wall seconds per executed trial (submission order)
+    exec_walls: List[float] = field(default_factory=list)
+    #: wall seconds per cache hit (store read + deserialize)
+    hit_walls: List[float] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -95,10 +124,55 @@ class RunnerStats:
     def snapshot(self) -> Tuple[int, int]:
         return (self.executed, self.cache_hits)
 
+    def note_executed(self, wall: float) -> None:
+        self.executed += 1
+        self.exec_walls.append(wall)
 
-def _execute_trial_wire(setup: "TrialSetup", seed: int) -> dict:
-    """Pool worker entry point: run one trial, return its wire form."""
-    return run_result_to_dict(setup.run_one(seed))
+    def note_hit(self, wall: float) -> None:
+        self.cache_hits += 1
+        self.hit_walls.append(wall)
+
+    def wall_percentiles(self) -> Dict[str, float]:
+        """p50/p90/p99 wall seconds of the executed trials."""
+        return {name: round(percentile(self.exec_walls, p), 6)
+                for name, p in (("p50", 50), ("p90", 90), ("p99", 99))}
+
+    @property
+    def mean_hit_latency_ms(self) -> float:
+        if not self.hit_walls:
+            return 0.0
+        return 1000.0 * sum(self.hit_walls) / len(self.hit_walls)
+
+    def describe(self) -> str:
+        """One summary line for campaign/sweep footers."""
+        parts = [f"{self.executed} executed, {self.cache_hits} cached "
+                 f"({100.0 * self.hit_rate:.0f}% hits)"]
+        if self.exec_walls:
+            pct = self.wall_percentiles()
+            parts.append(f"trial wall p50/p90/p99 = {pct['p50']:.2f}/"
+                         f"{pct['p90']:.2f}/{pct['p99']:.2f}s")
+        if self.hit_walls:
+            parts.append(f"cache-hit latency {self.mean_hit_latency_ms:.1f}ms")
+        return "; ".join(parts)
+
+    def to_doc(self) -> Dict[str, object]:
+        """JSON row for ``BENCH_*.json`` artifacts."""
+        return {
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "hit_rate": round(self.hit_rate, 4),
+            "wall_percentiles": self.wall_percentiles(),
+            "mean_hit_latency_ms": round(self.mean_hit_latency_ms, 3),
+        }
+
+
+def _execute_trial_wire(setup: "TrialSetup", seed: int) -> Tuple[dict, float]:
+    """Pool worker entry point: run one trial, return its wire form
+    plus the worker-side wall seconds (self-profiling only — the wire
+    doc itself never carries wall clock)."""
+    start = time.perf_counter()
+    doc = run_result_to_dict(setup.run_one(seed))
+    return doc, time.perf_counter() - start
 
 
 class TrialRunner:
@@ -127,12 +201,17 @@ class TrialRunner:
     def __init__(self, workers: int = 1,
                  cache_dir: Optional[str] = None,
                  use_cache: bool = True,
-                 engine_workers: int = 1):
+                 engine_workers: int = 1,
+                 trace_out: Optional[str] = None):
         self.workers = max(1, int(workers))
         self.engine_workers = max(1, int(engine_workers))
         self.store: Optional[ResultStore] = (
             ResultStore(cache_dir) if (cache_dir and use_cache) else None)
         self.stats = RunnerStats()
+        #: Chrome-trace export path (``--trace-out``); the first
+        #: observed result — preferring a faulted one — is written once
+        self.trace_out = trace_out
+        self._trace_written = False
 
     def run_jobs(self, jobs: Sequence[Tuple["TrialSetup", int]]
                  ) -> List[RunResult]:
@@ -148,23 +227,26 @@ class TrialRunner:
         for i, (setup, seed) in enumerate(jobs):
             if self.store is not None:
                 keys[i] = trial_key(setup, seed)
+                start = time.perf_counter()
                 cached = self.store.get(keys[i])
                 if cached is not None:
                     results[i] = cached
-                    self.stats.cache_hits += 1
+                    self.stats.note_hit(time.perf_counter() - start)
                     continue
             pending.append(i)
 
         if pending and self.workers == 1:
             for i in pending:
                 setup, seed = jobs[i]
+                start = time.perf_counter()
                 result = setup.run_one(seed)
-                self.stats.executed += 1
+                self.stats.note_executed(time.perf_counter() - start)
                 if self.store is not None:
                     self.store.put(keys[i], result)
                 results[i] = result
         elif pending:
             self._run_pool(jobs, pending, keys, results)
+        self._maybe_export_trace(results)
         return results  # type: ignore[return-value]  # every slot filled
 
     def _run_pool(self, jobs, pending, keys, results) -> None:
@@ -175,11 +257,32 @@ class TrialRunner:
                 for i in pending}
             for future in as_completed(futures):
                 i = futures[future]
-                doc = future.result()
-                self.stats.executed += 1
+                doc, wall = future.result()
+                self.stats.note_executed(wall)
                 if self.store is not None:
                     self.store.put_dict(keys[i], doc)
                 results[i] = run_result_from_dict(doc)
+
+    def _maybe_export_trace(self, results: Sequence[Optional[RunResult]]
+                            ) -> None:
+        """Write the ``--trace-out`` Chrome trace (once per runner).
+
+        Picks the first observed result with a recovery (a faulted
+        trial is what the trace is *for*), falling back to the first
+        observed one — both deterministic in submission order, so the
+        exported bytes are identical no matter how the batch executed.
+        """
+        if self.trace_out is None or self._trace_written:
+            return
+        observed = [r for r in results if r is not None and r.obs]
+        if not observed:
+            return
+        pick = next((r for r in observed if r.restarts), observed[0])
+        from repro.obs import write_chrome_trace
+        write_chrome_trace(self.trace_out, pick.obs)
+        self._trace_written = True
+        print(f"wrote Chrome trace to {self.trace_out} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
 
 
 # -- CLI plumbing shared by every experiment driver --------------------------
@@ -204,6 +307,12 @@ def add_runner_arguments(parser) -> None:
              "partitions (default: 1, the single-engine reference; "
              "results are bit-identical at every W — see "
              "docs/parallel-engine.md)")
+    group.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="export a Chrome-trace/Perfetto JSON of the first "
+             "observed (preferring faulted) trial to FILE — open in "
+             "chrome://tracing or ui.perfetto.dev (see "
+             "docs/observability.md)")
 
 
 def runner_from_args(args) -> TrialRunner:
@@ -211,4 +320,5 @@ def runner_from_args(args) -> TrialRunner:
     return TrialRunner(workers=getattr(args, "workers", 1),
                        cache_dir=getattr(args, "cache_dir", None),
                        use_cache=not getattr(args, "no_cache", False),
-                       engine_workers=getattr(args, "engine_workers", 1))
+                       engine_workers=getattr(args, "engine_workers", 1),
+                       trace_out=getattr(args, "trace_out", None))

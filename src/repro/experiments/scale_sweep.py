@@ -113,6 +113,50 @@ def run_experiment(reps: int = REPS,
 
 
 # ---------------------------------------------------------------------------
+# instrumentation-overhead self-profiling (BENCH artifacts only)
+# ---------------------------------------------------------------------------
+
+def obs_overhead_row(n_procs: int = 8, repeats: int = 2) -> Dict[str, object]:
+    """Span-instrumentation cost, measured on/off (``obs_overhead``).
+
+    Runs one small faulted trial with observation enabled and disabled,
+    ``repeats`` times each, and reports the best wall of each mode plus
+    their ratio.  Wall clock only — it lands in ``BENCH_*.json`` next
+    to the runner's self-profiling, never in the wire format.
+    """
+    from repro.explore import generators
+    from repro.explore.generators import TimedKill, render_plan
+
+    scenario = render_plan((TimedKill(at=FAULT_AT, target=0),))
+    walls: Dict[bool, float] = {}
+    for observe in (True, False):
+        setup = TrialSetup(
+            n_procs=n_procs, n_machines=n_procs + 4,
+            scenario_source=scenario,
+            master_daemon=generators.MASTER,
+            node_daemon=generators.NODE_DAEMON,
+            timeout=600.0, footprint=FOOTPRINT,
+            workload="ring", niters=ROUNDS,
+            total_compute=COMPUTE_PER_RANK * n_procs,
+            observe=observe)
+        best = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            setup.run_one(0)
+            wall = time.perf_counter() - t0
+            best = wall if best is None else min(best, wall)
+        walls[observe] = best
+    return {
+        "benchmark": "obs_overhead",
+        "n_procs": n_procs,
+        "wall_observed_s": round(walls[True], 4),
+        "wall_unobserved_s": round(walls[False], 4),
+        "overhead_ratio": round(walls[True] / walls[False], 4)
+        if walls[False] else 0.0,
+    }
+
+
+# ---------------------------------------------------------------------------
 # shard-balance reporting
 # ---------------------------------------------------------------------------
 
@@ -419,9 +463,7 @@ def main() -> None:  # pragma: no cover - CLI
     print()
     print(render_shard_balance(result))
     stats = runner.stats
-    print(f"[runner] executed {stats.executed}, cache hits "
-          f"{stats.cache_hits} ({100.0 * stats.hit_rate:.0f}% hit rate), "
-          f"wall {wall:.1f}s")
+    print(f"[runner] {stats.describe()}, wall {wall:.1f}s")
     rows = summarize(result)
     kernel_rows: List[Dict[str, object]] = []
     if args.kernel_bench:
@@ -450,6 +492,8 @@ def main() -> None:  # pragma: no cover - CLI
             "wall_seconds": wall,
             "executed": stats.executed,
             "cache_hits": stats.cache_hits,
+            "runner_stats": stats.to_doc(),
+            "obs_overhead": obs_overhead_row(),
         }
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)

@@ -1,0 +1,123 @@
+"""``python -m repro timeline`` — one observed trial, rendered.
+
+Runs a single trial of any registered protocol under an inline fault
+plan (``--kill``, ``--partition``, ``--heal-after``) and renders what
+the paper's methodology reads off the execution trace: the ASCII
+swimlane timeline, optionally the per-epoch recovery *phase table*
+derived from the observability spans (``--phases``), and optionally a
+Chrome-trace/Perfetto JSON of the same spans (``--trace-out``).
+
+Examples::
+
+    python -m repro timeline --kill 45 --phases
+    python -m repro timeline --protocol v2 --kill 45:0 --kill 80:1 \\
+        --partition 120:2,3 --heal-after 30 --trace-out trial.trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Tuple
+
+from repro.analysis.timeline import render_timeline
+from repro.experiments.harness import TrialSetup
+from repro.explore import generators
+from repro.explore.generators import (Heal, Step, TimedKill, TimedPartition,
+                                      render_plan)
+from repro.mpichv import protocols
+from repro.obs import (epoch_phase_table, render_phase_table, span_rollups,
+                       write_chrome_trace)
+
+
+def _parse_kill(spec: str) -> TimedKill:
+    """``T`` or ``T:IDX`` — kill machine IDX (default 0) at t=T."""
+    at, _, target = spec.partition(":")
+    return TimedKill(at=int(at), target=int(target) if target else 0)
+
+
+def _parse_partition(spec: str) -> TimedPartition:
+    """``T:IDX[,IDX...]`` — isolate those machines together at t=T."""
+    at, _, targets = spec.partition(":")
+    if not targets:
+        raise argparse.ArgumentTypeError(
+            f"partition spec {spec!r} needs targets, e.g. 60:1,2")
+    return TimedPartition(at=int(at),
+                          targets=tuple(int(x) for x in targets.split(",")))
+
+
+def build_plan(kills: List[TimedKill],
+               partitions: List[TimedPartition],
+               heal_after: int) -> Tuple[Step, ...]:
+    """Assemble the fault plan in injection order."""
+    steps: List[Step] = sorted([*kills, *partitions], key=lambda s: s.at)
+    if heal_after and partitions:
+        steps.append(Heal(after=heal_after))
+    return tuple(steps)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--protocol", default="vcl",
+                        choices=list(protocols.available()),
+                        help="fault-tolerance protocol (default: vcl)")
+    parser.add_argument("--procs", type=int, default=8, metavar="N",
+                        help="MPI processes (default: 8)")
+    parser.add_argument("--workload", default="ring",
+                        help="registered workload (default: ring)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="simulated-seconds cap (default: 600)")
+    parser.add_argument("--kill", action="append", default=[],
+                        type=_parse_kill, metavar="T[:IDX]",
+                        help="kill machine IDX (default 0) at t=T; repeatable")
+    parser.add_argument("--partition", action="append", default=[],
+                        type=_parse_partition, metavar="T:IDX[,IDX...]",
+                        help="isolate machines at t=T; repeatable")
+    parser.add_argument("--heal-after", type=int, default=0, metavar="S",
+                        help="heal every partition S seconds after the last "
+                             "injection step")
+    parser.add_argument("--width", type=int, default=72,
+                        help="timeline width in columns (default: 72)")
+    parser.add_argument("--phases", action="store_true",
+                        help="print the span-derived per-epoch recovery "
+                             "phase table (detect/relaunch/restore/replay)")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write a Chrome-trace/Perfetto JSON of the "
+                             "trial's spans to FILE")
+    args = parser.parse_args()
+
+    plan = build_plan(args.kill, args.partition, args.heal_after)
+    setup = TrialSetup(
+        n_procs=args.procs, n_machines=args.procs + 4,
+        protocol=args.protocol, workload=args.workload,
+        timeout=args.timeout, keep_trace=True,
+        scenario_source=render_plan(plan) if plan else None,
+        master_daemon=generators.MASTER,
+        node_daemon=generators.NODE_DAEMON)
+    result = setup.run_one(args.seed)
+
+    print(f"== {args.protocol} / {args.workload} x{args.procs} "
+          f"(seed {args.seed}) — {result.verdict.outcome.value} ==")
+    print(render_timeline(result.trace, width=args.width))
+    if args.phases:
+        print()
+        print("== recovery phases (sim seconds, from repro.obs spans) ==")
+        print(render_phase_table(result.obs))
+    if result.obs:
+        rollups = span_rollups(result.obs)
+        if rollups:
+            print()
+            kinds = ", ".join(f"{kind} x{agg['count']}"
+                              for kind, agg in sorted(rollups.items()))
+            print(f"spans: {kinds}")
+    if args.trace_out:
+        write_chrome_trace(
+            args.trace_out, result.obs,
+            title=f"{args.protocol}/{args.workload} x{args.procs} "
+                  f"seed={args.seed}")
+        print(f"wrote Chrome trace to {args.trace_out} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

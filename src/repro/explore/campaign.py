@@ -919,15 +919,16 @@ def main() -> None:  # pragma: no cover - CLI
         json.dump(result.to_json(), fh, indent=2, sort_keys=True)
         fh.write("\n")
     if args.json:
+        bench_doc = result.bench_json()
+        bench_doc["runner_stats"] = runner.stats.to_doc()
         with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump(result.bench_json(), fh, indent=2, sort_keys=True)
+            json.dump(bench_doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
     for report in result.shrinks:
         print(f"minimal reproducer: {report.fail_file}")
         print(f"  {report.command}")
     stats = runner.stats
-    print(f"[runner] executed {stats.executed}, cache hits "
-          f"{stats.cache_hits} ({100.0 * stats.hit_rate:.0f}% hit rate)")
+    print(f"[runner] {stats.describe()}")
     if args.require_clean and result.failures:
         raise SystemExit(1)
 

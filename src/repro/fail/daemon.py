@@ -191,6 +191,11 @@ class FailDaemon(MachineContext):
             self.engine.log("fault_injected", instance=self.instance,
                             pid=target.pid, name=target.name,
                             node=target.node.name)
+            # detection starts the moment the fault lands; the
+            # dispatcher closes this span when it attributes the
+            # closure (see repro.mpichv.dispatcher.close_detect)
+            self.engine.span("detect", lane=target.node.name,
+                             node=target.node.name, pid=target.pid)
         else:
             self.engine.log("halt_noop", instance=self.instance)
 

@@ -121,6 +121,13 @@ def channel_memory_main(proc: UnixProcess, config, index: int):
                            if config.cm_replay else [])
                 engine.log("cm_attach", rank=msg.rank, cm=index,
                            after=msg.after, replayed=len(entries))
+                if entries:
+                    # redelivery is a burst of sends at this instant —
+                    # a zero-length replay phase on the CM's lane
+                    # (initial attaches replay nothing and stay silent)
+                    engine.span("replay", lane=proc.node.name,
+                                rank=msg.rank, cm=index,
+                                replayed=len(entries)).close_at(engine.now)
                 for entry in entries:
                     if sock.closed or not sock.peer_alive:
                         break

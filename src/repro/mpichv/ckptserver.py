@@ -76,18 +76,32 @@ def ckpt_server_main(proc: UnixProcess, config, server_index: int):
     proc.tags["ckpt_state"] = state
     listener = proc.node.listen(config.ckpt_server_port_base + server_index, owner=proc)
 
-    #: FIFO disk queue: (nbytes, fn) — fn runs when the disk I/O ends
+    #: FIFO disk queue: (kind, nbytes, t_enqueued, fn) — fn runs when
+    #: the disk I/O ends; kind/t_enqueued feed the store spans and the
+    #: queue-wait histogram
     disk_q: Store = Store(engine, name=f"ckptsrv{server_index}.disk")
 
     def disk_writer():
         while True:
             try:
-                nbytes, fn = yield disk_q.get()
+                kind, nbytes, t_enq, fn = yield disk_q.get()
             except StoreClosed:
                 return
+            obs = engine.obs
+            if obs is not None:
+                # the disk serializes, so store spans on this lane are
+                # disjoint; the queue wait is what the Fig. 6 ingest
+                # bottleneck looks like from a daemon's point of view
+                obs.metrics.observe(
+                    f"ckptsrv.{server_index}.disk.wait_ms",
+                    (engine.now - t_enq) * 1000.0)
+            span = engine.span("store", lane=proc.node.name,
+                               op=kind, bytes=nbytes,
+                               server=server_index)
             if nbytes > 0:
                 yield engine.timeout(nbytes / timing.server_disk_bw)
             fn()
+            span.close()
 
     proc.spawn_thread(disk_writer(), name=f"ckptsrv{server_index}.disk")
 
@@ -110,7 +124,7 @@ def ckpt_server_main(proc: UnixProcess, config, server_index: int):
                     if not sock.closed and sock.peer_alive:
                         sock.send(wire.CkptStoredAck(rank=img.rank, wave=img.wave))
 
-                disk_q.put((msg.img_size, _stored))
+                disk_q.put(("image", msg.img_size, engine.now, _stored))
             elif isinstance(msg, wire.CkptLogAppend):
 
                 def _logged(msg=msg, sock=sock):
@@ -119,7 +133,7 @@ def ckpt_server_main(proc: UnixProcess, config, server_index: int):
                     if not sock.closed and sock.peer_alive:
                         sock.send(wire.CkptStoredAck(rank=msg.rank, wave=msg.wave))
 
-                disk_q.put((msg.size, _logged))
+                disk_q.put(("logs", msg.size, engine.now, _logged))
             elif isinstance(msg, wire.FetchReq):
 
                 def _read(msg=msg, sock=sock):
@@ -136,7 +150,7 @@ def ckpt_server_main(proc: UnixProcess, config, server_index: int):
 
                 img = state.lookup(msg.rank, msg.wave)
                 read_bytes = img.img_size if img is not None else 0
-                disk_q.put((read_bytes, _read))
+                disk_q.put(("fetch", read_bytes, engine.now, _read))
             elif isinstance(msg, wire.WaveCommit):
                 state.commit(msg.wave)
             elif isinstance(msg, wire.Shutdown):

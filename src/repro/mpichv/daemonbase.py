@@ -225,6 +225,9 @@ class MpichDaemon:
             rank=self.rank, wave=wave,
             state=copy.deepcopy(self.app_state),
             logs=[], img_size=int(self.config.image_size), complete=True)
+        span = self.engine.span("transfer", lane=self.proc.node.name,
+                                rank=self.rank, wave=wave,
+                                bytes=img.img_size)
         # fork-style: local write, then stream to the server
         yield self.engine.timeout(img.img_size / self.timing.local_disk_bw)
         node_local_store(self.proc.node).store(img)
@@ -232,6 +235,7 @@ class MpichDaemon:
             self.ckpt_sock.send(wire.CkptStore(
                 rank=self.rank, wave=wave, state=img.state, logs=[],
                 img_size=img.img_size))
+        span.close()
         self.post_checkpoint(img)
         self.engine.log(f"{self.protocol}_ckpt", rank=self.rank, wave=wave)
 
@@ -380,7 +384,16 @@ def daemon_lifecycle(core_cls, proc: UnixProcess, config, rank: int,
 
     # --- protocol services + state restore --------------------------------
     yield from core.connect_services(cmd)
-    yield from core.restore_state(cmd)
+    if epoch > 0 or incarnation > 1:
+        # a recovering daemon (restart epoch or single-rank respawn):
+        # the restore phase spans service dialing through state load
+        restore_span = engine.span("restore", lane=proc.node.name,
+                                   rank=rank, epoch=epoch,
+                                   incarnation=incarnation)
+        yield from core.restore_state(cmd)
+        restore_span.close()
+    else:
+        yield from core.restore_state(cmd)
 
     # --- build the peer mesh ----------------------------------------------
     for peer_rank in core.mesh_dial_targets(cmd):

@@ -33,7 +33,7 @@ from typing import Any, Dict, List, Optional, Set
 
 from repro.analysis.coverage import hit_bucket
 from repro.cluster.unixproc import UnixProcess
-from repro.mpichv import protocols, wire
+from repro.mpichv import protocols, shardmap, wire
 from repro.simkernel.store import StoreClosed
 
 LAUNCHING = "launching"
@@ -78,6 +78,42 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
     proc.tags["disp_state"] = state
     listener = proc.node.listen(config.dispatcher_port, owner=proc)
     sched_conn = [None]
+    # observability handles (no-ops when engine.obs is None): the
+    # full-restart relaunch span of the epoch in progress, and the
+    # per-rank relaunch spans of message-logging restarts
+    epoch_relaunch: List[Any] = [None]
+    relaunch_by_rank: Dict[int, Any] = {}
+
+    def obs_inc(name: str) -> None:
+        obs = engine.obs
+        if obs is not None:
+            obs.metrics.inc(name)
+
+    def close_detect(rank: int, fallback: bool = True,
+                     **fields: Any) -> None:
+        """End the ``detect`` span of this rank's machine.
+
+        The span was opened by the fault injector on the victim's lane
+        (:func:`repro.fail.daemon`); matching on the machine name keeps
+        simultaneous kills on different machines from cross-matching.
+        A closure with no open span is a *false suspicion* (e.g. a
+        partitioned-but-alive daemon): with ``fallback`` set, record a
+        zero-length boundary so the phase table still shows the
+        recovery row.  Launch deaths pass ``fallback=False`` — a
+        partitioned rank respawns in a tight loop, and fabricating a
+        span per lap would flood the trace with noise.
+        """
+        obs = engine.obs
+        if obs is None:
+            return
+        node = state.assignment[rank]
+        span = obs.end_oldest("detect", engine.now, match={"node": node},
+                              rank=rank, **fields)
+        if span is None and fallback:
+            obs.open("detect", node,
+                     engine.now, dict(node=node, rank=rank,
+                                      suspected=True, **fields)
+                     ).close_at(engine.now)
 
     if len(machines) < n:
         raise ValueError("not enough machines for the requested ranks")
@@ -120,6 +156,8 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
         state.failures_detected += 1
         engine.cover("disp.launch_death")
         engine.log("failure_detected", rank=rank, where="launch")
+        close_detect(rank, fallback=False, where="launch")
+        obs_inc("disp.detect.launch")
         spawn_slot(rank)
 
     # ------------------------------------------------------------------
@@ -136,6 +174,14 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
         if prev == RESTARTING:
             engine.cover("disp.wave.recovery_complete")
             engine.log("recovery_complete", epoch=state.epoch)
+            span = epoch_relaunch[0]
+            if span is not None:
+                span.close(ranks=n)
+                epoch_relaunch[0] = None
+            # catch-up runs from here to the first application progress
+            # (closed by the recorder's trace listener)
+            engine.span("catchup", lane=shardmap.DISPATCHER_NODE,
+                        epoch=state.epoch)
         else:
             engine.cover("disp.wave.app_start")
             engine.log("app_start", epoch=state.epoch)
@@ -150,6 +196,14 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
         state.done_ranks.clear()
         engine.log("restart_wave", epoch=state.epoch,
                    restore=state.restore_wave, failed=sorted(failed_ranks))
+        span = epoch_relaunch[0]
+        if span is not None:
+            # a failure mid-restart starts a fresh wave: the running
+            # relaunch span is superseded, not completed
+            span.close(superseded=True)
+        epoch_relaunch[0] = engine.span(
+            "relaunch", lane=shardmap.DISPATCHER_NODE, epoch=state.epoch,
+            mode="full", restore=state.restore_wave)
         old_reg, state.reg = state.reg, {}
         state.addrs = {}
         for rank, sock in old_reg.items():
@@ -197,10 +251,18 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
                 state.bug_events += 1
                 engine.cover("disp.closure.bug_misattribution")
                 engine.log("bug_misattribution", rank=rank, epoch=ep)
+                # the failure *was* observable (the socket closed) but
+                # the dispatcher booked it against the old wave — the
+                # detect span ends here, marked missed, with no
+                # relaunch ever following it
+                close_detect(rank, missed=True, epoch=ep)
+                obs_inc("disp.detect.missed")
                 return
             state.failures_detected += 1
             engine.cover(f"disp.closure.failure.{state.phase}")
             engine.log("failure_detected", rank=rank, where=state.phase)
+            close_detect(rank, where=state.phase, epoch=ep)
+            obs_inc("disp.detect.closure")
             if single_rank_restart:
                 # message logging: only the failed rank restarts
                 engine.cover("disp.closure.single_rank_restart")
@@ -208,6 +270,12 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
                 del state.reg[rank]
                 engine.log("restart_wave", epoch=state.epoch,
                            restore=spec.name, failed=[rank])
+                prev_span = relaunch_by_rank.get(rank)
+                if prev_span is not None and not prev_span.closed:
+                    prev_span.close(superseded=True)
+                relaunch_by_rank[rank] = engine.span(
+                    "relaunch", lane=state.assignment[rank], rank=rank,
+                    epoch=state.epoch, mode="single")
                 spawn_slot(rank)
             else:
                 engine.cover("disp.closure.full_restart")
@@ -231,6 +299,7 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
         except StoreClosed:
             return
         engine.cover(f"disp.rx.{type(first).__name__}")
+        obs_inc(f"disp.rx.{type(first).__name__}")
         if isinstance(first, wire.WaveCommit):
             # the checkpoint scheduler's commit-note connection
             sched_conn[0] = sock
@@ -267,6 +336,11 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
                                       restore_wave=None))
             engine.log("recovery_complete", epoch=state.epoch, rank=rank,
                        protocol=spec.name)
+            span = relaunch_by_rank.pop(rank, None)
+            if span is not None:
+                span.close()
+            engine.span("catchup", lane=state.assignment[rank], rank=rank,
+                        epoch=state.epoch)
         elif len(state.reg) == n and not state.pending_term:
             all_registered()
         # read loop: Done notifications until closure
@@ -277,6 +351,7 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
                 on_closure(rank, ep, sock)
                 return
             engine.cover(f"disp.rx.{type(msg).__name__}")
+            obs_inc(f"disp.rx.{type(msg).__name__}")
             if isinstance(msg, wire.Done):
                 if state.phase == RUNNING and ep == state.epoch:
                     state.done_ranks.add(msg.rank)

@@ -25,6 +25,7 @@ from repro.cluster.cluster import Cluster
 from repro.mpichv import protocols, shardmap
 from repro.mpichv.config import VclConfig
 from repro.mpichv.dispatcher import dispatcher_main
+from repro.obs import Obs
 from repro.simkernel.engine import Engine, gc_paused
 
 
@@ -77,6 +78,13 @@ class RunResult:
     #: results only, never serialized to the result cache: a result
     #: loaded from the store or a pool worker reads 0.0)
     wall_seconds: float = 0.0
+    #: the compact observability document (see :mod:`repro.obs`):
+    #: span rows, the metrics registry and the ``exec`` execution-
+    #: metadata section.  ``None`` when the trial ran with
+    #: ``observe=False``.  Everything outside ``exec`` is a pure
+    #: function of the simulated history — serialized, cached, and
+    #: byte-compared across serial/pooled/cached execution.
+    obs: Optional[Dict[str, Any]] = None
 
     @property
     def ckpt_shard_imbalance(self) -> float:
@@ -103,13 +111,21 @@ class VclRuntime:
                  app_factory: Callable,
                  seed: int = 0,
                  keep_trace: bool = True,
-                 engine_workers: int = 1):
+                 engine_workers: int = 1,
+                 observe: bool = True):
         if engine_workers < 1:
             raise ValueError(f"engine_workers must be >= 1, "
                              f"got {engine_workers}")
         self.config = config
         self.trace = Trace(keep=keep_trace)
         self.engine = Engine(seed=seed, trace=self.trace)
+        #: recovery-phase spans + metrics (see :mod:`repro.obs`); with
+        #: ``observe=False`` every instrumented call site short-circuits
+        #: to a shared null span and the result carries ``obs=None``
+        self.obs: Optional[Obs] = Obs(self.engine) if observe else None
+        if self.obs is not None:
+            self.engine.obs = self.obs
+            self.trace.subscribe(self.obs.on_trace)
         self.cluster = Cluster(
             self.engine, config.n_machines,
             latency=config.timing.net_latency,
@@ -236,7 +252,6 @@ class VclRuntime:
             self.trace.unsubscribe(_capture)
         wall_seconds = time.perf_counter() - wall_start
 
-        verdict = classify_run(self.trace, timeout)
         # Coverage signature: probe labels hit during the run (branch
         # points in the dispatcher / daemon lifecycle) plus
         # hit-bucketed trace-kind counters — the greybox search signal
@@ -258,6 +273,8 @@ class VclRuntime:
             ckpt_state = proc.tags.get("ckpt_state")
             shard_bytes.append(int(ckpt_state.bytes_ingested)
                                if ckpt_state is not None else 0)
+        obs_doc = self._finalize_obs(disp, sched, network, shard_bytes)
+        verdict = classify_run(self.trace, timeout, obs=obs_doc)
         return RunResult(
             verdict=verdict,
             trace=self.trace,
@@ -279,7 +296,68 @@ class VclRuntime:
             parallel=(network.partition_stats()
                       if self.engine_workers > 1 else None),
             wall_seconds=wall_seconds,
+            obs=obs_doc,
         )
+
+    def _finalize_obs(self, disp, sched, network,
+                      shard_bytes: List[int]) -> Optional[Dict[str, Any]]:
+        """Fold end-of-run state into the recorder and freeze the doc.
+
+        Simulation-determined quantities (dispatcher / scheduler /
+        channel-memory counters, fabric traffic, per-shard checkpoint
+        ingest) go into :attr:`Obs.metrics` and ship with the result;
+        execution metadata (front-lane hits, slot dispatch totals, the
+        null-message accounting of windowed runs) goes into the
+        ``exec`` section, which deterministic exporters never read.
+        """
+        obs = self.obs
+        if obs is None:
+            return None
+        m = obs.metrics
+        if disp is not None:
+            m.gauge("disp.restarts", disp.restarts)
+            m.gauge("disp.failures_detected", disp.failures_detected)
+            m.gauge("disp.bug_events", disp.bug_events)
+        if sched is not None:
+            m.gauge("sched.waves_committed", sched.waves_committed)
+        m.gauge("net.bytes", network.bytes_sent)
+        m.gauge("net.messages", network.messages_sent)
+        for shard, nbytes in enumerate(shard_bytes):
+            m.gauge(f"ckptsrv.{shard}.bytes_ingested", nbytes)
+        cm_items = sorted(
+            (name, proc) for name, proc in self.service_procs.items()
+            if name.startswith("channelmemory."))
+        for name, proc in cm_items:
+            cm = proc.tags.get("cm_state")
+            if cm is None:
+                continue
+            prefix = f"cm.{name.split('.')[-1]}"
+            m.gauge(f"{prefix}.logged", cm.logged)
+            m.gauge(f"{prefix}.duplicates", cm.duplicates)
+            m.gauge(f"{prefix}.forwarded", cm.forwarded)
+            m.gauge(f"{prefix}.pruned", cm.pruned)
+        x = obs.exec_metrics
+        x.gauge("engine.events_processed", self.engine.events_processed)
+        x.gauge("engine.front_lane_hits", self.engine.front_lane_hits)
+        x.gauge("engine.slots_drained", self.engine.slots_drained)
+        if self.engine.slots_drained:
+            # mean events dispatched per slot visit — the slot-table
+            # occupancy, i.e. how much batching the slotted heap buys
+            x.gauge("engine.slot_occupancy",
+                    round(self.engine.events_processed
+                          / self.engine.slots_drained, 6))
+        x.gauge("engine.workers", self.engine_workers)
+        if self.engine_workers > 1:
+            stats = network.partition_stats()
+            for key in ("windows", "channels", "cross_messages",
+                        "payload_windows", "null_messages"):
+                x.gauge(f"parallel.{key}", stats[key])
+            grants = stats["windows"] * stats["channels"]
+            if grants:
+                x.gauge("parallel.null_ratio",
+                        round(stats["null_messages"] / grants, 6))
+        obs.finalize(self.engine.now)
+        return obs.to_doc()
 
     def _run_windowed(self, timeout: float) -> None:
         """Engine-workers execution: horizon windows over the
@@ -348,3 +426,4 @@ class VclRuntime:
             node.dispose()
         self.service_procs.clear()
         self.dispatcher_proc = None
+        self.obs = None

@@ -42,6 +42,8 @@ def scheduler_main(proc: UnixProcess, config):
 
     server_socks = []
     dispatcher_sock = [None]
+    #: the open ``ckpt_wave`` span of the wave in progress
+    wave_span = [None]
 
     def connect_services():
         # every checkpoint-server shard: wave commits must reach all of
@@ -75,12 +77,24 @@ def scheduler_main(proc: UnixProcess, config):
             state.acks.clear()
             state.waves_aborted += 1
             engine.log("ckpt_wave_abort", wave=state.wave_id, reason=reason)
+            span = wave_span[0]
+            if span is not None:
+                span.close(aborted=True, reason=reason)
+                wave_span[0] = None
 
     def commit_wave() -> None:
         state.in_progress = False
         state.committed_wave = state.wave_id
         state.waves_committed += 1
         engine.log("ckpt_wave_complete", wave=state.wave_id)
+        # the commit point is a boundary, not an interval — a
+        # zero-length child closing the wave
+        engine.span("commit", lane=shardmap.COORDINATOR_NODE,
+                    wave=state.wave_id).close()
+        span = wave_span[0]
+        if span is not None:
+            span.close(acks=n)
+            wave_span[0] = None
         note = wire.WaveCommit(wave=state.wave_id)
         for sock in server_socks:
             if not sock.closed:
@@ -139,6 +153,12 @@ def scheduler_main(proc: UnixProcess, config):
         state.acks = set()
         state.waves_started += 1
         engine.log("ckpt_wave_start", wave=state.wave_id)
+        wave_span[0] = engine.span("ckpt_wave",
+                                   lane=shardmap.COORDINATOR_NODE,
+                                   wave=state.wave_id)
+        # marker broadcast happens at this instant: zero-length child
+        engine.span("initiate", lane=shardmap.COORDINATOR_NODE,
+                    wave=state.wave_id, ranks=n).close()
         marker = wire.Marker(wave=state.wave_id, src_rank=-1)
         for sock in list(state.conns.values()):
             if not sock.closed:

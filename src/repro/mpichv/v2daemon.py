@@ -151,6 +151,9 @@ class V2Daemon(MpichDaemon):
         if self.replay_events:
             self.engine.log("v2_replay_start", rank=self.rank,
                             events=len(self.replay_events))
+            self._replay_span = self.engine.span(
+                "replay", lane=self.proc.node.name, rank=self.rank,
+                replayed=len(self.replay_events))
         self._drain_replay()
 
     def _drain_replay(self) -> None:
@@ -176,6 +179,10 @@ class V2Daemon(MpichDaemon):
             self.next_pos_to_log = max(self.next_pos_to_log,
                                        self.app_state[POS])
             self.engine.log("v2_replay_done", rank=self.rank)
+            span = getattr(self, "_replay_span", None)
+            if span is not None:
+                span.close()
+                self._replay_span = None
             # post-replay traffic processes through the normal
             # pessimistic path, in (src, seq) order per source
             for (src, seq) in sorted(self.staging):

@@ -166,6 +166,9 @@ class VclDaemon(MpichDaemon):
 
     def _ckpt_transfer(self, img: CheckpointImage):
         """Clone thread: write local image, stream it to the server."""
+        span = self.engine.span("transfer", lane=self.proc.node.name,
+                                rank=self.rank, wave=img.wave,
+                                bytes=img.img_size)
         # local disk write (the forked clone writing its file)
         yield self.engine.timeout(img.img_size / self.timing.local_disk_bw)
         node_local_store(self.proc.node).store(img)
@@ -179,6 +182,7 @@ class VclDaemon(MpichDaemon):
             self.ckpt_sock.send(wire.CkptStore(
                 rank=self.rank, wave=img.wave, state=img.state,
                 logs=list(img.logs), img_size=img.img_size))
+        span.close()
 
     def _note_store_ack(self, wave: int) -> None:
         self.store_acks[wave] = self.store_acks.get(wave, 0) + 1
@@ -240,6 +244,12 @@ class VclDaemon(MpichDaemon):
         self.engine.log("restore", rank=self.rank, wave=img.wave,
                         replayed=len(img.logs),
                         buffered=len(self.app_state.get("_mpi_unmatched", [])))
+        if img.logs:
+            # channel-state redelivery is instantaneous in Vcl (the
+            # logs rode inside the image): a zero-length replay phase
+            self.engine.span("replay", lane=self.proc.node.name,
+                             rank=self.rank, wave=img.wave,
+                             replayed=len(img.logs)).close()
 
     # ------------------------------------------------------------------
     # reader threads

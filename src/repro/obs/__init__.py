@@ -1,0 +1,46 @@
+"""repro.obs — deterministic, sim-time observability.
+
+Three cooperating pieces, all pure functions of the simulated history
+(never of the wall clock, the worker pool, or the engine partitioning):
+
+* :mod:`repro.obs.spans` — nested ``[t0, t1)`` intervals opened through
+  :meth:`repro.simkernel.engine.Engine.span` at protocol call sites
+  (dispatcher, daemon lifecycle, checkpoint servers, channel memories,
+  the network fault API), so a restart epoch decomposes into
+  ``detect → relaunch → restore → replay → catchup`` and a checkpoint
+  wave into ``initiate → transfer → commit``;
+* :mod:`repro.obs.metrics` — a registry of counters, gauges and
+  log-bucketed histograms keyed by stable label strings (the
+  ``hit_bucket`` idiom of :mod:`repro.analysis.coverage`);
+* exporters — :mod:`repro.obs.chrometrace` (Chrome-trace / Perfetto
+  JSON, one lane per host) and :mod:`repro.obs.phases` (the per-epoch
+  phase table behind ``python -m repro timeline --phases``).
+
+The wire form is the compact ``obs`` document on
+:class:`repro.mpichv.runtime.RunResult`: span rows plus the metrics
+registry, identical byte-for-byte across serial / pooled / cached
+execution and every ``--engine-workers`` value.  Execution metadata
+(front-lane hits, slot occupancy, null-message ratios — quantities
+that legitimately vary with the execution mode) lives in a separate
+``exec`` section that the deterministic exporters never read.
+"""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import (FIELDS, KIND, LANE, NULL_SPAN, T0, T1, Obs,
+                             span_rollups)
+from repro.obs.chrometrace import (chrome_trace_doc, chrome_trace_json,
+                                   write_chrome_trace)
+from repro.obs.phases import epoch_phase_table, render_phase_table
+
+__all__ = [
+    "MetricsRegistry",
+    "Obs",
+    "NULL_SPAN",
+    "T0", "T1", "KIND", "LANE", "FIELDS",
+    "span_rollups",
+    "chrome_trace_doc",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "epoch_phase_table",
+    "render_phase_table",
+]

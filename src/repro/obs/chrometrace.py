@@ -1,0 +1,117 @@
+"""Chrome-trace / Perfetto JSON export of an ``obs`` document.
+
+Produces the ``traceEvents`` JSON-object format that both
+``chrome://tracing`` and https://ui.perfetto.dev load directly: one
+complete event (``ph: "X"``) per span, timestamps in integer
+microseconds of *simulated* time, one lane (thread) per host plus the
+synthetic ``net`` lane.
+
+Determinism: the export is a pure function of the ``obs`` document —
+lanes sort naturally (``m2`` before ``m10``), events keep the
+document's dispatch order, and the JSON serializes with sorted keys
+and fixed separators — so the bytes are identical across serial,
+pooled, cached and ``--engine-workers N`` runs of the same trial.
+
+Optionally, ``partitions`` (a list of host groups, e.g. the
+deployment's :func:`repro.mpichv.shardmap.partition_hosts` plan)
+groups the lanes into one Perfetto *process* per engine partition.
+This is a pure display grouping computed from the configuration — the
+default export never consults the execution mode, which is what keeps
+it byte-identical across worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.spans import FIELDS, KIND, LANE, T0, T1
+
+_NAT = re.compile(r"(\d+)")
+
+
+def _lane_key(lane: str):
+    """Natural sort: ``m2`` < ``m10``, service lanes after machines."""
+    return tuple(int(part) if part.isdigit() else part
+                 for part in _NAT.split(lane))
+
+
+def _us(t: float) -> int:
+    return int(round(t * 1e6))
+
+
+def chrome_trace_doc(obs_doc: Dict[str, Any],
+                     title: str = "repro trial",
+                     partitions: Optional[Sequence[Sequence[str]]] = None,
+                     ) -> Dict[str, Any]:
+    """Build the Chrome-trace document (Python objects, not JSON)."""
+    spans = obs_doc.get("spans", []) if obs_doc else []
+    lanes = sorted({row[LANE] for row in spans}, key=_lane_key)
+    # lane -> (pid, tid); pid groups lanes per partition when asked
+    lane_pid: Dict[str, int] = {}
+    pid_names: Dict[int, str] = {1: title}
+    if partitions:
+        for gi, group in enumerate(partitions):
+            pid_names[gi + 1] = f"partition {gi}"
+            for host in group:
+                lane_pid[host] = gi + 1
+        pid_names[len(partitions) + 1] = "shared"
+        default_pid = len(partitions) + 1
+    else:
+        default_pid = 1
+    lane_tid = {lane: tid for tid, lane in enumerate(lanes, start=1)}
+
+    events: List[Dict[str, Any]] = []
+    for pid in sorted(pid_names):
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "args": {"name": pid_names[pid]}})
+    for lane in lanes:
+        pid = lane_pid.get(lane, default_pid)
+        events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                       "tid": lane_tid[lane], "args": {"name": lane}})
+        events.append({"ph": "M", "name": "thread_sort_index", "pid": pid,
+                       "tid": lane_tid[lane],
+                       "args": {"sort_index": lane_tid[lane]}})
+    for row in spans:
+        t0, t1 = row[T0], row[T1]
+        lane = row[LANE]
+        events.append({
+            "ph": "X",
+            "name": row[KIND],
+            "cat": row[KIND],
+            "pid": lane_pid.get(lane, default_pid),
+            "tid": lane_tid[lane],
+            "ts": _us(t0),
+            "dur": _us((t1 if t1 is not None else t0) - t0),
+            "args": row[FIELDS] or {},
+        })
+    metrics = (obs_doc or {}).get("metrics") or {}
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "simulated",
+            "dropped_spans": (obs_doc or {}).get("dropped_spans", 0),
+            "truncated_spans": (obs_doc or {}).get("truncated_spans", 0),
+            "counters": metrics.get("counters", {}),
+        },
+    }
+
+
+def chrome_trace_json(obs_doc: Dict[str, Any],
+                      title: str = "repro trial",
+                      partitions: Optional[Sequence[Sequence[str]]] = None,
+                      ) -> str:
+    """Serialize with sorted keys + fixed separators (byte-stable)."""
+    doc = chrome_trace_doc(obs_doc, title=title, partitions=partitions)
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_chrome_trace(path: str, obs_doc: Dict[str, Any],
+                       title: str = "repro trial",
+                       partitions: Optional[Sequence[Sequence[str]]] = None,
+                       ) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(chrome_trace_json(obs_doc, title=title,
+                                   partitions=partitions))

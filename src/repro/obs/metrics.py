@@ -1,0 +1,97 @@
+"""The metrics registry: counters, gauges, log-bucketed histograms.
+
+Every value is keyed by a stable label string (``disp.rx.Register``,
+``ckptsrv.disk.wait_ms``) and fed exclusively with simulated-time
+quantities, so a registry filled during a trial is a pure function of
+the simulation history — same ``(setup, seed)`` ⇒ bit-identical
+document, serial or pooled, live or cache-loaded.
+
+Histograms reuse the AFL-style logarithmic buckets of
+:func:`repro.analysis.coverage.hit_bucket`: an observation of ``v``
+lands in bucket ``1, 2, 4, 8, ...`` — one restart is a different
+behaviour than eight, eight and nine are the same.  That keeps a
+histogram a handful of integers no matter how many observations feed
+it, which is what lets the registry ride inside every cached result.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Union
+
+from repro.analysis.coverage import hit_bucket
+
+Number = Union[int, float]
+
+
+class MetricsRegistry:
+    """Counters, gauges and log-bucketed histograms by label."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, Number] = {}
+        #: name -> {bucket (int) -> observation count}
+        self.histograms: Dict[str, Dict[int, int]] = {}
+
+    # -- recording ---------------------------------------------------------
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set the gauge ``name`` (last write wins)."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: Number) -> None:
+        """Record one observation into the log-bucketed histogram.
+
+        Values below 1 (including negatives) share the bucket ``1`` —
+        the histograms here measure sizes and durations where "smaller
+        than the resolution" is one behaviour, not many.
+        """
+        bucket = hit_bucket(max(1, int(value)))
+        hist = self.histograms.setdefault(name, {})
+        hist[bucket] = hist.get(bucket, 0) + 1
+
+    # -- queries -----------------------------------------------------------
+    def histogram_summary(self, name: str) -> Dict[str, int]:
+        """``{count, min_bucket, max_bucket}`` of one histogram."""
+        hist = self.histograms.get(name, {})
+        if not hist:
+            return {"count": 0, "min_bucket": 0, "max_bucket": 0}
+        return {"count": sum(hist.values()),
+                "min_bucket": min(hist),
+                "max_bucket": max(hist)}
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.histograms)
+
+    # -- wire form ---------------------------------------------------------
+    def to_doc(self) -> Dict[str, Any]:
+        """JSON-safe document with deterministic (sorted) key order."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                name: {str(b): hist[b] for b in sorted(hist)}
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, Any]) -> "MetricsRegistry":
+        reg = cls()
+        reg.counters = {str(k): int(v)
+                        for k, v in (doc.get("counters") or {}).items()}
+        reg.gauges = dict(doc.get("gauges") or {})
+        reg.histograms = {
+            str(name): {int(b): int(c) for b, c in hist.items()}
+            for name, hist in (doc.get("histograms") or {}).items()
+        }
+        return reg
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        return (f"<MetricsRegistry counters={len(self.counters)} "
+                f"gauges={len(self.gauges)} "
+                f"histograms={len(self.histograms)}>")

@@ -1,0 +1,250 @@
+"""Spans: nested sim-time intervals recorded at protocol call sites.
+
+A span is ``[t0, t1)`` on a *lane* — a host name (``m3``, ``svc0``) or
+the synthetic ``net`` lane — with a ``kind`` tag and a small field
+dict.  Call sites open spans through
+:meth:`repro.simkernel.engine.Engine.span`; with no :class:`Obs`
+recorder attached the call returns the shared :data:`NULL_SPAN` and
+costs one attribute read, which is the ``keep=False``-style off switch
+that keeps the engine hot path inside the dispatch benchmark gate.
+
+Determinism contract: recording a span never schedules engine events,
+never writes the trace, and never consumes ``engine.random`` — the
+span list is derived *from* the simulated history, so the golden
+digest matrix (``tests/test_engine_workers_golden.py``) and the byte
+equality of serial / pooled / cached results are unaffected by turning
+observation on or off.
+
+The recorder keeps two registries: :attr:`Obs.metrics` for quantities
+that are pure functions of the simulation (exported, cached,
+byte-compared) and :attr:`Obs.exec_metrics` for execution metadata —
+front-lane hits, slot occupancy, null-message ratios — which varies
+legitimately with ``engine_workers`` and therefore never feeds the
+deterministic exporters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+#: indices into a span row ``[t0, t1, kind, lane, fields]``
+T0, T1, KIND, LANE, FIELDS = 0, 1, 2, 3, 4
+
+#: hard cap on recorded spans per trial — a deterministic bound (spans
+#: record in dispatch order, so truncation cuts the same tail
+#: everywhere); overflow is counted in ``dropped_spans``
+MAX_SPANS = 50000
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+class Span:
+    """One open or closed interval (mutated in place on close)."""
+
+    __slots__ = ("obs", "kind", "lane", "t0", "t1", "fields")
+
+    def __init__(self, obs: "Obs", kind: str, lane: str, t0: float,
+                 fields: Dict[str, Any]):
+        self.obs = obs
+        self.kind = kind
+        self.lane = lane
+        self.t0 = t0
+        self.t1: Optional[float] = None
+        self.fields = fields
+
+    @property
+    def closed(self) -> bool:
+        return self.t1 is not None
+
+    def close(self, **fields: Any) -> "Span":
+        """Close at the engine's current instant (idempotent)."""
+        if self.t1 is None:
+            self.obs._close(self, self.obs.engine.now, fields)
+        return self
+
+    def close_at(self, t1: float, **fields: Any) -> "Span":
+        if self.t1 is None:
+            self.obs._close(self, t1, fields)
+        return self
+
+    def to_row(self) -> List[Any]:
+        return [self.t0, self.t1, self.kind, self.lane,
+                _json_safe(self.fields)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        end = f"{self.t1:.3f}" if self.t1 is not None else "…"
+        return f"<Span {self.kind}@{self.lane} [{self.t0:.3f},{end})>"
+
+
+class _NullSpan:
+    """Shared no-op handle returned when observation is off."""
+
+    __slots__ = ()
+    closed = True
+
+    def close(self, **fields: Any) -> "_NullSpan":
+        return self
+
+    def close_at(self, t1: float, **fields: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Obs:
+    """Per-trial recorder: the span list plus the two registries."""
+
+    def __init__(self, engine=None, max_spans: int = MAX_SPANS):
+        self.engine = engine
+        self.max_spans = max_spans
+        #: every recorded span, in open (dispatch) order
+        self.spans: List[Span] = []
+        #: kind -> open spans of that kind, in open order (FIFO)
+        self._open: Dict[str, List[Span]] = {}
+        self.dropped_spans = 0
+        self.truncated_spans = 0
+        #: simulation-deterministic metrics (exported, cached)
+        self.metrics = MetricsRegistry()
+        #: execution metadata (never read by deterministic exporters)
+        self.exec_metrics = MetricsRegistry()
+        self._finalized = False
+
+    # -- span lifecycle ----------------------------------------------------
+    def open(self, kind: str, lane: str, t0: float,
+             fields: Dict[str, Any]):
+        if len(self.spans) >= self.max_spans:
+            self.dropped_spans += 1
+            return NULL_SPAN
+        span = Span(self, kind, lane, t0, fields)
+        self.spans.append(span)
+        self._open.setdefault(kind, []).append(span)
+        return span
+
+    def _close(self, span: Span, t1: float, fields: Dict[str, Any]) -> None:
+        span.t1 = t1
+        if fields:
+            span.fields.update(fields)
+        bucket = self._open.get(span.kind)
+        if bucket is not None and span in bucket:
+            bucket.remove(span)
+
+    def open_spans(self, kind: str) -> List[Span]:
+        return list(self._open.get(kind, ()))
+
+    def end_oldest(self, kind: str, t1: float,
+                   match: Optional[Dict[str, Any]] = None,
+                   **fields: Any) -> Optional[Span]:
+        """Close the oldest open span of ``kind`` (FIFO hand-off).
+
+        With ``match``, only a span whose fields agree on every given
+        key qualifies — e.g. the dispatcher closing the ``detect`` span
+        of the machine whose daemon's socket just dropped, not whichever
+        kill happened to land first.  Returns the closed span, or None
+        when nothing (matching) was open.
+        """
+        for span in self._open.get(kind, ()):
+            if match is not None and any(span.fields.get(k) != v
+                                         for k, v in match.items()):
+                continue
+            self._close(span, t1, fields)
+            return span
+        return None
+
+    def close_all(self, kind: str, t1: float, **fields: Any) -> int:
+        """Close every open span of ``kind``; returns how many."""
+        bucket = self._open.pop(kind, None)
+        if not bucket:
+            return 0
+        for span in bucket:
+            span.t1 = t1
+            if fields:
+                span.fields.update(fields)
+        return len(bucket)
+
+    # -- trace listener ----------------------------------------------------
+    def on_trace(self, rec) -> None:
+        """Live trace hook: application-progress records end catch-up.
+
+        The ``catchup`` phase has no natural closing call site — "the
+        system is caught up" is observable only as the application
+        making progress again — so the recorder watches the trace: the
+        first ``progress`` / ``verify_ok`` / ``app_done`` record closes
+        every open catch-up span, and a new ``failure_detected`` cuts
+        them short (the next recovery supersedes the current one).
+        """
+        kind = rec.kind
+        if kind in ("progress", "verify_ok", "app_done"):
+            if self._open.get("catchup"):
+                self.close_all("catchup", rec.t)
+        elif kind == "failure_detected":
+            if self._open.get("catchup"):
+                self.close_all("catchup", rec.t, cut_short=True)
+
+    # -- end of run --------------------------------------------------------
+    def finalize(self, end_time: float) -> None:
+        """Close every span still open at the end of the run.
+
+        A span left open means its closing site never ran — a daemon
+        died mid-checkpoint-transfer, a partition was never healed.
+        Those close at ``end_time`` with a ``_truncated`` marker so
+        exporters can render them while the nesting checks exclude
+        them.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        for bucket in self._open.values():
+            for span in bucket:
+                span.t1 = end_time
+                span.fields["_truncated"] = True
+                self.truncated_spans += 1
+        self._open.clear()
+
+    def to_doc(self) -> Dict[str, Any]:
+        """The compact ``obs`` wire document (see RunResult.obs)."""
+        return {
+            "version": 1,
+            "spans": [s.to_row() for s in self.spans],
+            "dropped_spans": self.dropped_spans,
+            "truncated_spans": self.truncated_spans,
+            "metrics": self.metrics.to_doc(),
+            "exec": self.exec_metrics.to_doc(),
+        }
+
+
+def span_rollups(obs_doc: Optional[Dict[str, Any]]
+                 ) -> Dict[str, Dict[str, float]]:
+    """Per-kind rollups of an ``obs`` document's span rows.
+
+    ``{kind: {count, total, max, truncated}}`` with durations in
+    simulated seconds.  Tolerates ``None`` (observation was off) by
+    returning an empty dict, so consumers can stay unconditional.
+    """
+    rollups: Dict[str, Dict[str, float]] = {}
+    if not obs_doc:
+        return rollups
+    for row in obs_doc.get("spans", ()):
+        kind = row[KIND]
+        entry = rollups.setdefault(
+            kind, {"count": 0, "total": 0.0, "max": 0.0, "truncated": 0})
+        entry["count"] += 1
+        fields = row[FIELDS] or {}
+        if fields.get("_truncated"):
+            entry["truncated"] += 1
+            continue
+        dur = (row[T1] if row[T1] is not None else row[T0]) - row[T0]
+        entry["total"] += dur
+        if dur > entry["max"]:
+            entry["max"] = dur
+    return rollups

@@ -43,6 +43,26 @@ class SimTimeoutError(Exception):
     non-finished simulation an error."""
 
 
+class _NullSpan:
+    """No-op span handle returned by :meth:`Engine.span` when no
+    observability recorder is attached.  The simkernel defines its own
+    (rather than importing :data:`repro.obs.NULL_SPAN`) so the engine
+    stays importable without the obs package and the off-path cost is
+    one attribute test."""
+
+    __slots__ = ()
+    closed = True
+
+    def close(self, **fields):
+        return self
+
+    def close_at(self, t1, **fields):
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
 class TimerHandle:
     """A cancellable scheduled callback (see :meth:`Engine.timer`).
 
@@ -163,6 +183,18 @@ class Engine:
         self.coverage: set = set()
         #: number of events processed so far (cheap progress metric)
         self.events_processed = 0
+        #: times a dispatch came from the front lane instead of the heap
+        #: (execution metadata — varies with partitioning, never exported
+        #: into the deterministic obs document)
+        self.front_lane_hits = 0
+        #: slot visits by the dispatch loops; with
+        #: :attr:`events_processed` this gives the mean batch size per
+        #: slot — the slot-table occupancy.  Execution metadata, like
+        #: :attr:`front_lane_hits`.
+        self.slots_drained = 0
+        #: optional repro.obs.Obs recorder; None keeps :meth:`span` a
+        #: single attribute test on the hot path
+        self.obs = None
         self._stopped = False
 
     def cover(self, label: str) -> None:
@@ -276,6 +308,7 @@ class Engine:
                 front.sort()
             if heap and heap[0] < front[0]:
                 return heapq.heappop(heap)
+            self.front_lane_hits += 1
             return front.pop(0)
         if heap:
             return heapq.heappop(heap)
@@ -316,6 +349,7 @@ class Engine:
             del self._slots[key]
         self.now = when
         self.events_processed += 1
+        self.slots_drained += 1
         payload()               # Events are callable (see events.py)
 
     def run(self, until: Optional[float] = None, *, raise_on_timeout: bool = False,
@@ -342,6 +376,7 @@ class Engine:
         limit = float("inf") if until is None else until
         budget = float("inf") if max_events is None else max_events
         processed = 0
+        drained = 0
         try:
             while not self._stopped:
                 # -- select the earliest slot (front lane, then heap) --
@@ -355,6 +390,7 @@ class Engine:
                         key = pop(heap)
                     else:
                         key = front.pop(0)
+                        self.front_lane_hits += 1
                     when = key[0]
                 elif heap:
                     key = heap[0]
@@ -369,6 +405,7 @@ class Engine:
                 else:
                     break
                 slot = slots[key]
+                drained += 1
                 self.now = when
                 self._current_key = key
                 # The slot being drained is the globally earliest: any
@@ -409,6 +446,7 @@ class Engine:
             self._current_key = None
             self._preempt = False
             self.events_processed += processed
+            self.slots_drained += drained
         if until is not None and not heap and not front and self.now < until:
             self.now = until
         return self.now
@@ -446,12 +484,28 @@ class Engine:
         self._heap.clear()
         self._front.clear()
         self.trace = None
+        self.obs = None
 
     # -- tracing ------------------------------------------------------------
     def log(self, kind: str, **fields) -> None:
         """Record a structured trace record if a trace sink is attached."""
         if self.trace is not None:
             self.trace.record(self.now, kind, **fields)
+
+    def span(self, kind: str, lane: str = "sim", **fields):
+        """Open an observability span at the current instant.
+
+        With no :class:`repro.obs.Obs` recorder attached this is a
+        single attribute test returning a shared no-op handle — the
+        off switch that keeps instrumented call sites free on the
+        dispatch hot path.  Opening a span never schedules events,
+        never logs to the trace, and never consumes :attr:`random`, so
+        the simulated history is identical with observation on or off.
+        """
+        obs = self.obs
+        if obs is None:
+            return _NULL_SPAN
+        return obs.open(kind, lane, self.now, fields)
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         pending = sum(len(s) for s in self._slots.values())

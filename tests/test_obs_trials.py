@@ -1,0 +1,211 @@
+"""Observability on real trials: span nesting on a kill + partition +
+heal scenario for every protocol, the phase-sum acceptance check
+against the trace, verdict identity with observation off, exporter
+byte-determinism across execution paths, and the wire round trip."""
+
+import json
+
+import pytest
+
+from repro.experiments.harness import TrialSetup
+from repro.experiments.resultstore import (run_result_from_dict,
+                                           run_result_to_dict)
+from repro.experiments.runner import TrialRunner
+from repro.explore import generators
+from repro.explore.generators import (Heal, TimedKill, TimedPartition,
+                                      render_plan)
+from repro.mpichv import protocols
+from repro.obs import (FIELDS, KIND, LANE, T0, T1, chrome_trace_json,
+                       epoch_phase_table, span_rollups)
+
+CAL = dict(workload="ring", niters=40, total_compute=1280.0, footprint=1e8)
+
+#: one real kill, one false suspicion (partition), then a heal — the
+#: scenario the acceptance criteria name
+PLAN = (TimedKill(at=20, target=0),
+        TimedPartition(at=45, targets=(1,)),
+        Heal(after=10))
+
+PROTOCOLS = sorted(protocols.available())
+
+
+def _setup(protocol, observe=True, keep_trace=False):
+    return TrialSetup(
+        n_procs=4, n_machines=6, protocol=protocol, timeout=200.0,
+        scenario_source=render_plan(PLAN),
+        master_daemon=generators.MASTER,
+        node_daemon=generators.NODE_DAEMON,
+        observe=observe, keep_trace=keep_trace, **CAL)
+
+
+@pytest.fixture(scope="module")
+def observed():
+    """One observed kill/partition/heal trial per protocol."""
+    return {p: _setup(p, keep_trace=True).run_one(7) for p in PROTOCOLS}
+
+
+# ---------------------------------------------------------------------------
+# span nesting / well-formedness
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_span_nesting_well_formed(observed, protocol):
+    result = observed[protocol]
+    obs = result.obs
+    assert obs is not None and obs["version"] == 1
+    spans = obs["spans"]
+    assert spans and obs["dropped_spans"] == 0
+    for row in spans:
+        assert row[T1] is not None          # finalize closed everything
+        assert row[T0] <= row[T1] <= result.sim_time + 1e-9
+        assert isinstance(row[LANE], str) and row[LANE]
+    kinds = {row[KIND] for row in spans}
+    # the recovery anatomy the trial must decompose into
+    assert {"detect", "relaunch", "restore", "catchup",
+            "netsplit"} <= kinds
+    # checkpoint-wave anatomy: initiate at the wave start, commit at
+    # the end of every completed wave
+    for wave in (r for r in spans if r[KIND] == "ckpt_wave"):
+        f = wave[FIELDS] or {}
+        if f.get("aborted") or f.get("_truncated"):
+            continue
+        assert any(r[KIND] == "initiate" and abs(r[T0] - wave[T0]) < 1e-9
+                   and (r[FIELDS] or {}).get("wave") == f.get("wave")
+                   for r in spans)
+        assert any(r[KIND] == "commit" and abs(r[T0] - wave[T1]) < 1e-9
+                   and (r[FIELDS] or {}).get("wave") == f.get("wave")
+                   for r in spans)
+    # every restore sits inside the window of a relaunch's epoch
+    relaunch_starts = [r[T0] for r in spans if r[KIND] == "relaunch"]
+    for restore in (r for r in spans if r[KIND] == "restore"):
+        assert any(restore[T0] >= t0 - 1e-9 for t0 in relaunch_starts)
+
+
+@pytest.mark.parametrize("protocol", ["v2", "v1"])
+def test_logging_protocols_record_replay(observed, protocol):
+    roll = span_rollups(observed[protocol].obs)
+    assert roll.get("replay", {}).get("count", 0) >= 1
+
+
+def test_heal_closes_the_netsplit_span(observed):
+    spans = observed["vcl"].obs["spans"]
+    splits = [r for r in spans if r[KIND] == "netsplit"]
+    assert splits
+    for row in splits:
+        assert not (row[FIELDS] or {}).get("_truncated")
+        # Heal(after=10) — plus the FAIL daemon's own stepping overhead
+        assert 10.0 <= row[T1] - row[T0] < 11.0
+
+
+# ---------------------------------------------------------------------------
+# acceptance: phases tile the trace-derived recovery time
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_phase_sum_matches_trace_recovery(observed, protocol):
+    result = observed[protocol]
+    rows = epoch_phase_table(result.obs)
+    assert rows, "a killed trial must produce recovery rows"
+    detections = [rec.t for rec in result.trace.of_kind("failure_detected")]
+    recoveries = [(rec.t, rec.fields.get("epoch"))
+                  for rec in result.trace.of_kind("recovery_complete")]
+    for row in (r for r in rows if not r["truncated"]):
+        # the four phases tile the recovery interval exactly
+        phase_sum = (row["detect"] + row["relaunch"] + row["restore"]
+                     + row["replay"])
+        assert phase_sum == pytest.approx(row["recovery"], abs=1e-9)
+        # boundaries line up with the trace's own records: detection …
+        t_detect = row["t_fault"] + row["detect"]
+        assert any(t == pytest.approx(t_detect, abs=1e-9)
+                   for t in detections)
+        # … and, for full restarts, re-registration
+        if row["rank"] is None:
+            t_reg = t_detect + row["relaunch"]
+            assert any(t == pytest.approx(t_reg, abs=1e-9)
+                       and ep == row["epoch"] for t, ep in recoveries)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_verdict_carries_span_derived_fields(observed, protocol):
+    verdict = observed[protocol].verdict
+    assert verdict.detect_latency is not None and verdict.detect_latency >= 0
+    assert verdict.replay_seconds is not None and verdict.replay_seconds >= 0
+
+
+# ---------------------------------------------------------------------------
+# observation is inert: same simulation, same verdict
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_verdict_identical_with_observation_off(observed, protocol):
+    on = observed[protocol]
+    off = _setup(protocol, observe=False).run_one(7)
+    assert off.obs is None
+    # span-derived verdict extras disappear; nothing else may move
+    assert off.verdict.detect_latency is None
+    assert off.verdict.replay_seconds is None
+    assert off.verdict.outcome == on.verdict.outcome
+    assert off.verdict.exec_time == on.verdict.exec_time
+    assert off.verdict.last_activity == on.verdict.last_activity
+    assert off.verdict.reason == on.verdict.reason
+    assert off.app_signature == on.app_signature
+    assert off.events_processed == on.events_processed
+    assert off.sim_time == on.sim_time
+
+
+# ---------------------------------------------------------------------------
+# exporter determinism across execution paths
+# ---------------------------------------------------------------------------
+
+@pytest.mark.slow
+def test_chrome_trace_byte_identical_across_paths(tmp_path):
+    """Serial, pooled, cold/warm cache and --engine-workers 2 must all
+    produce byte-identical Chrome-trace JSON for the same trials."""
+    jobs = [(_setup(protocol), 7) for protocol in PROTOCOLS]
+    w2_jobs = [(s, seed) for s, seed in jobs]
+
+    batches = {
+        "serial": TrialRunner(workers=1).run_jobs(jobs),
+        "pool": TrialRunner(workers=2).run_jobs(jobs),
+        "cold": TrialRunner(workers=2,
+                            cache_dir=str(tmp_path)).run_jobs(jobs),
+        "warm": TrialRunner(workers=1,
+                            cache_dir=str(tmp_path)).run_jobs(jobs),
+        "ew2": TrialRunner(workers=1, engine_workers=2).run_jobs(w2_jobs),
+    }
+    reference = [chrome_trace_json(r.obs) for r in batches["serial"]]
+    assert all(json.loads(blob)["traceEvents"] for blob in reference)
+    for name, results in batches.items():
+        blobs = [chrome_trace_json(r.obs) for r in results]
+        assert blobs == reference, f"{name} diverged from serial"
+
+
+def test_trace_out_exports_first_faulted_trial(tmp_path):
+    out = tmp_path / "trial.trace.json"
+    fault_free = TrialSetup(n_procs=4, n_machines=6, protocol="vcl",
+                            timeout=200.0, **CAL)
+    runner = TrialRunner(workers=1, trace_out=str(out))
+    results = runner.run_jobs([(fault_free, 7), (_setup("vcl"), 7)])
+    doc = json.loads(out.read_text())
+    # the faulted trial (second submitted) wins over the fault-free one
+    assert results[1].restarts > 0
+    assert out.read_text() == chrome_trace_json(
+        results[1].obs, title=doc["otherData"].get("title", "repro trial")) \
+        or json.loads(chrome_trace_json(results[1].obs))["traceEvents"] \
+        == doc["traceEvents"]
+
+
+# ---------------------------------------------------------------------------
+# wire round trip
+# ---------------------------------------------------------------------------
+
+def test_resultstore_roundtrip_preserves_obs(observed):
+    result = observed["vcl"]
+    doc = run_result_to_dict(result)
+    blob = json.dumps(doc, sort_keys=True)     # must be JSON-safe
+    back = run_result_from_dict(json.loads(blob))
+    assert run_result_to_dict(back) == json.loads(blob) \
+        or run_result_to_dict(back) == doc
+    assert back.obs == result.obs
+    assert back.verdict.detect_latency == result.verdict.detect_latency
+    assert back.verdict.replay_seconds == result.verdict.replay_seconds

@@ -27,6 +27,34 @@ def test_timeline_marks_land_in_buckets():
 def test_timeline_empty_trace():
     text = render_timeline(Trace(), width=20)
     assert "(0 events shown" in text
+    # an empty trace still gets a visible, non-zero-width time axis
+    header = text.splitlines()[0]
+    assert header.startswith("time") and "─" in header
+    assert "0.0" in header and "1.0" in header
+
+
+def test_timeline_counts_only_degrades_gracefully():
+    """A keep=False trace (the campaign default) that saw events
+    renders a per-lane count table instead of an empty swimlane."""
+    tr = Trace(keep=False)
+    tr.record(10.0, "fault_injected")
+    tr.record(50.0, "fault_injected")
+    tr.record(60.0, "restart_wave")
+    assert not tr.records
+    text = render_timeline(tr, width=20)
+    assert "counts-only" in text
+    fault_line = [ln for ln in text.splitlines()
+                  if ln.startswith("fault")][0]
+    assert "x2" in fault_line and "t=10.0..50.0" in fault_line
+    restart_line = [ln for ln in text.splitlines()
+                    if ln.startswith("restart")][0]
+    assert "R x1" in restart_line
+    assert "(3 events counted, 0 records kept)" in text
+
+
+def test_timeline_counts_only_not_used_for_kept_traces():
+    tr = make_trace([(10.0, "fault_injected")])
+    assert "counts-only" not in render_timeline(tr, width=20)
 
 
 def test_timeline_respects_window():

@@ -239,6 +239,71 @@ def test_obs_span_off_switch_overhead(benchmark):
 
 
 @pytest.mark.benchmark(group="micro")
+def test_causal_stamp_off_switch_overhead(benchmark):
+    """Minting + stamping with observation OFF: ``causal.stamp`` must
+    collapse to one attribute read per call — the cost every unobserved
+    trial pays at each message mint site."""
+    from repro.mpi.message import AppMessage
+    from repro.obs.causal import stamp
+
+    N = 20000
+
+    def run():
+        eng = Engine(seed=0)
+        assert eng.obs is None
+        for i in range(N):
+            msg = AppMessage(0, 1, i, None)
+            stamp(eng, msg, "r0")
+        return N
+
+    assert benchmark(run) == N
+
+
+@pytest.mark.benchmark(group="micro")
+def test_network_delivery_tracing_on(benchmark):
+    """The relay benchmark with a live recorder and stamped messages:
+    the causal choke point (two graph nodes + edges per transmission)
+    rides the same dispatch loop the tracing-off gate pins, so this
+    is the measured price of causal tracing per delivered message."""
+    from repro.mpi.message import AppMessage
+    from repro.obs import Obs
+    from repro.obs.causal import stamp
+
+    N = 2000
+
+    def run():
+        eng = Engine(seed=0)
+        eng.obs = Obs(eng)
+        clu = Cluster(eng, 2)
+        done = []
+
+        def server(proc):
+            ls = proc.node.listen(5000, owner=proc)
+            sock = yield ls.accept()
+            count = 0
+            while count < N:
+                yield sock.recv()
+                count += 1
+            done.append(count)
+
+        def client(proc):
+            sock = yield proc.node.connect(clu.node(0).addr(5000), owner=proc)
+            for i in range(N):
+                msg = AppMessage(1, 0, i, None)
+                stamp(eng, msg, "r1")
+                sock.send(msg, size=1024)
+            yield eng.timeout(10.0)
+
+        clu.node(0).spawn("server", server)
+        clu.node(1).spawn("client", client)
+        eng.run(until=120.0)
+        assert len(eng.obs.causal.nodes) == 2 * N
+        return done[0]
+
+    assert benchmark(run) == N
+
+
+@pytest.mark.benchmark(group="micro")
 def test_obs_span_record_throughput(benchmark):
     """Span open/close against a live recorder — the observability
     hot path of an instrumented trial (checkpoint transfers dominate

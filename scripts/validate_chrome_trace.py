@@ -10,6 +10,10 @@ on — no external schema library, just the rules the exporter promises:
   integer non-negative ``ts``/``dur`` and a ``name``
 * every ``X`` event's ``(pid, tid)`` was declared by a ``thread_name``
   metadata event (no orphan lanes)
+* flow events (``ph: "s"`` / ``ph: "f"``) pair up: every flow id has
+  exactly one start and one finish, start before (or at) finish, with
+  matching ``name``/``cat``, on declared lanes, with integer ``ts`` —
+  and no dangling flow ids in either direction
 * the simulated clock is declared (``otherData.clock == "simulated"``)
 
 Exit 0 when valid; exit 1 with every violation listed otherwise.
@@ -42,6 +46,8 @@ def validate(doc: Any) -> List[str]:
     declared_lanes = set()
     declared_pids = set()
     spans = 0
+    #: flow id -> ("s"|"f") -> (index, ts, name, cat)
+    flows: Dict[Any, Dict[str, tuple]] = {}
     for i, ev in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(ev, dict):
@@ -78,8 +84,52 @@ def validate(doc: Any) -> List[str]:
                               f"(pid={ev['pid']}, tid={ev['tid']})")
             if ev["pid"] not in declared_pids:
                 errors.append(f"{where}: undeclared pid {ev['pid']}")
+        elif ph in ("s", "f"):
+            flow_id = ev.get("id")
+            if flow_id is None:
+                errors.append(f"{where}: flow event without an id")
+                continue
+            if not ev.get("name") or not ev.get("cat"):
+                errors.append(f"{where}: flow event needs name and cat "
+                              f"(s/f binding matches on name+cat+id)")
+            ts = ev.get("ts")
+            if not isinstance(ts, int) or isinstance(ts, bool) or ts < 0:
+                errors.append(f"{where}: flow ts must be a non-negative "
+                              f"integer, got {ts!r}")
+                ts = None
+            if (ev["pid"], ev["tid"]) not in declared_lanes:
+                errors.append(f"{where}: flow event on undeclared lane "
+                              f"(pid={ev['pid']}, tid={ev['tid']})")
+            if ph == "f" and ev.get("bp") != "e":
+                errors.append(f"{where}: flow finish should bind to the "
+                              f"enclosing slice (bp='e')")
+            seen = flows.setdefault(flow_id, {})
+            if ph in seen:
+                errors.append(f"{where}: duplicate flow {ph!r} for id "
+                              f"{flow_id!r} (first at "
+                              f"traceEvents[{seen[ph][0]}])")
+            else:
+                seen[ph] = (i, ts, ev.get("name"), ev.get("cat"))
         else:
             errors.append(f"{where}: unexpected phase {ph!r}")
+    for flow_id, seen in sorted(flows.items(), key=lambda kv: str(kv[0])):
+        if "s" not in seen:
+            errors.append(f"flow id {flow_id!r}: finish without a start "
+                          f"(dangling f at traceEvents[{seen['f'][0]}])")
+            continue
+        if "f" not in seen:
+            errors.append(f"flow id {flow_id!r}: start without a finish "
+                          f"(dangling s at traceEvents[{seen['s'][0]}])")
+            continue
+        _si, s_ts, s_name, s_cat = seen["s"]
+        _fi, f_ts, f_name, f_cat = seen["f"]
+        if (s_name, s_cat) != (f_name, f_cat):
+            errors.append(f"flow id {flow_id!r}: start/finish name+cat "
+                          f"mismatch ({s_name!r}/{s_cat!r} vs "
+                          f"{f_name!r}/{f_cat!r})")
+        if s_ts is not None and f_ts is not None and f_ts < s_ts:
+            errors.append(f"flow id {flow_id!r}: finish ts {f_ts} before "
+                          f"start ts {s_ts}")
     if not spans:
         errors.append("no complete (ph=X) span events")
     return errors
@@ -91,6 +141,8 @@ def main() -> int:
                         help="Chrome-trace JSON file(s) to validate")
     parser.add_argument("--min-spans", type=int, default=1, metavar="N",
                         help="require at least N span events (default: 1)")
+    parser.add_argument("--min-flows", type=int, default=0, metavar="N",
+                        help="require at least N flow starts (default: 0)")
     args = parser.parse_args()
 
     failed = False
@@ -108,6 +160,11 @@ def main() -> int:
         if n_spans < args.min_spans:
             errors.append(f"expected >= {args.min_spans} span events, "
                           f"found {n_spans}")
+        n_flows = sum(1 for e in doc.get("traceEvents", [])
+                      if isinstance(e, dict) and e.get("ph") == "s")
+        if n_flows < args.min_flows:
+            errors.append(f"expected >= {args.min_flows} flow starts, "
+                          f"found {n_flows}")
         if errors:
             failed = True
             print(f"{path}: INVALID")
@@ -119,7 +176,8 @@ def main() -> int:
                 if e.get("ph") == "X":
                     kinds[e["name"]] = kinds.get(e["name"], 0) + 1
             summary = ", ".join(f"{k} x{v}" for k, v in sorted(kinds.items()))
-            print(f"{path}: ok ({n_spans} spans: {summary})")
+            print(f"{path}: ok ({n_spans} spans, {n_flows} flows: "
+                  f"{summary})")
     return 1 if failed else 0
 
 

@@ -28,6 +28,10 @@ COMMANDS = {
                     "protocol x ranks x ckpt-server shards, up to 512 ranks"),
     "timeline": ("repro.experiments.timeline_cmd",
                  "one observed trial: swimlanes, phase table, Chrome trace"),
+    "trace-diff": ("repro.experiments.trace_diff_cmd",
+                   "align two trials' spans + recovery critical paths"),
+    "obs-report": ("repro.experiments.obs_report_cmd",
+                   "campaign rollup: OpenMetrics + HTML from a result store"),
 }
 
 #: legacy spellings kept working

@@ -63,6 +63,10 @@ class RunVerdict:
     #: total time spent replaying logged/recomputed history across all
     #: recoveries (``replay`` span rollup); None when unobserved
     replay_seconds: Optional[float] = None
+    #: per-phase critical-path seconds summed over recovery epochs
+    #: (:func:`repro.analysis.critpath.critpath_rollup`); empty dict for
+    #: an observed fault-free run, None when observation was off
+    critpath_segments: Optional[Dict[str, float]] = None
 
     @property
     def terminated(self) -> bool:
@@ -139,6 +143,13 @@ def classify_run(trace: Trace, timeout: float,
     # an observed run with no replay spans genuinely replayed nothing
     # (e.g. vcl, which logs no messages) — that is 0.0, not unknown
     replay_seconds = round(sum(replays), 9) if obs is not None else None
+    if obs is not None:
+        # function-level import keeps legacy/unobserved classification
+        # free of the analysis layer's obs dependencies
+        from repro.analysis.critpath import critpath_rollup
+        critpath_segments: Optional[Dict[str, float]] = critpath_rollup(obs)
+    else:
+        critpath_segments = None
 
     done_t = trace.last_t("app_done")
     if done_t is not None:
@@ -149,6 +160,7 @@ def classify_run(trace: Trace, timeout: float,
             reason="application finalized",
             detect_latency=detect_latency,
             replay_seconds=replay_seconds,
+            critpath_segments=critpath_segments,
         )
     t_act = last_activity_time(trace)
     idle = timeout - t_act
@@ -161,6 +173,7 @@ def classify_run(trace: Trace, timeout: float,
                     f"timeout (last activity at t={t_act:.1f})"),
             detect_latency=detect_latency,
             replay_seconds=replay_seconds,
+            critpath_segments=critpath_segments,
         )
     return RunVerdict(
         outcome=Outcome.NON_TERMINATING,
@@ -170,4 +183,5 @@ def classify_run(trace: Trace, timeout: float,
                 f"at t={t_act:.1f}, {idle:.0f}s before timeout)"),
         detect_latency=detect_latency,
         replay_seconds=replay_seconds,
+        critpath_segments=critpath_segments,
     )

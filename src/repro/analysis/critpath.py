@@ -1,0 +1,209 @@
+"""Recovery critical paths: phase segments + causal attribution.
+
+Each recovery epoch of a trial decomposes into four phases whose
+boundaries are span hand-off instants (:func:`repro.obs.phases
+.epoch_phase_table`), so the segments tile the recovery interval
+exactly.  This module turns every epoch into a *critical path* record:
+
+* the four ``detect``/``relaunch``/``restore``/``replay`` segments with
+  absolute ``t0``/``t1`` and duration — ``recovery`` is defined as the
+  sum of the segment durations, so the tiling identity holds in exact
+  floating point, not approximately;
+* a per-epoch *attribution* of the causal graph's network transmissions
+  falling inside the recovery window, grouped into recovery-relevant
+  categories (checkpoint restore transfer, log fetch, replay
+  redelivery, scheduler commit, relaunch control traffic);
+* the backward *causal chain* from the recovery-complete instant to the
+  triggering failure: starting at the last message received inside the
+  window, alternating ``net`` edges (receive ← send) and ``causal``
+  edges (send ← the receive that caused it) until the chain leaves the
+  window.
+
+Everything here is a pure function of the ``obs`` document — the same
+document yields the same rows, byte for byte, on every execution path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.causal import E_DST, E_SRC, E_TYPE, N_ID, N_KIND, N_T
+from repro.obs.phases import epoch_phase_table
+
+#: phases of one recovery, in order (their durations tile the interval)
+PHASES = ("detect", "relaunch", "restore", "replay")
+
+#: wire message kind -> attribution category (anything else: "other")
+ATTRIBUTION = {
+    # pulling the checkpoint image back from its server
+    "FetchReq": "restore_transfer",
+    "FetchResp": "restore_transfer",
+    # fetching the logged delivery history (V2 event logger, V1 CM)
+    "EvFetch": "log_fetch",
+    "EvFetchResp": "log_fetch",
+    "CMAttach": "log_fetch",
+    # redelivering logged messages to the recovering rank
+    "CMDeliver": "replay",
+    "V2Data": "replay",
+    "DataMsg": "replay",
+    # scheduler wave machinery
+    "Marker": "sched_commit",
+    "SchedAck": "sched_commit",
+    "WaveCommit": "sched_commit",
+    # dispatcher-driven restart control traffic
+    "Register": "relaunch_control",
+    "RegisterAck": "relaunch_control",
+    "CommandMap": "relaunch_control",
+    "Terminate": "relaunch_control",
+    # mesh / service (re)connection chatter
+    "Hello": "mesh",
+    "V2Hello": "mesh",
+    "SchedHello": "mesh",
+}
+
+#: backward-walk bound: a chain longer than this is cut (never loops —
+#: edges always point backward in time — but stays bounded regardless)
+MAX_CHAIN = 64
+
+_EPS = 1e-9
+
+
+def critical_paths(obs_doc: Optional[Dict[str, Any]]
+                   ) -> List[Dict[str, Any]]:
+    """One critical-path record per recovery epoch, in time order.
+
+    Empty when observation was off or the trial had no recoveries
+    (fault-free runs produce no relaunch spans).
+    """
+    phase_rows = epoch_phase_table(obs_doc)
+    if not phase_rows:
+        return []
+    causal = (obs_doc or {}).get("causal") or {}
+    nodes = causal.get("nodes", [])
+    edges = causal.get("edges", [])
+    # backward maps: receive <- send (net), send <- causing receive
+    net_pred: Dict[int, int] = {}
+    causal_pred: Dict[int, int] = {}
+    recv_by_time: List[int] = []
+    for e in edges:
+        if e[E_TYPE] == "net":
+            net_pred[e[E_DST]] = e[E_SRC]
+            recv_by_time.append(e[E_DST])
+        elif e[E_TYPE] == "causal":
+            causal_pred[e[E_DST]] = e[E_SRC]
+    recv_by_time.sort(key=lambda i: (nodes[i][N_T], i))
+
+    out: List[Dict[str, Any]] = []
+    for prow in phase_rows:
+        t0 = prow["t_fault"]
+        segments: List[Dict[str, Any]] = []
+        t = t0
+        for phase in PHASES:
+            dur = prow[phase]
+            segments.append({"phase": phase, "t0": t, "t1": t + dur,
+                             "dur": dur})
+            t = t + dur
+        # the tiling identity, exact by construction
+        recovery = 0.0
+        for seg in segments:
+            recovery += seg["dur"]
+        t_end = segments[-1]["t1"]
+
+        attribution: Dict[str, Dict[str, float]] = {}
+        for e in edges:
+            if e[E_TYPE] != "net":
+                continue
+            send, recv = nodes[e[E_SRC]], nodes[e[E_DST]]
+            if send[N_T] < t0 - _EPS or send[N_T] > t_end + _EPS:
+                continue
+            kind = send[N_KIND]
+            cat = ATTRIBUTION.get(kind, "other")
+            entry = attribution.setdefault(cat,
+                                           {"count": 0, "seconds": 0.0})
+            entry["count"] += 1
+            entry["seconds"] += recv[N_T] - send[N_T]
+        for entry in attribution.values():
+            entry["seconds"] = round(entry["seconds"], 9)
+
+        # backward chain from the last receive inside the window
+        chain: List[str] = []
+        start = None
+        for i in reversed(recv_by_time):
+            if nodes[i][N_T] <= t_end + _EPS:
+                if nodes[i][N_T] >= t0 - _EPS:
+                    start = i
+                break
+        node = start
+        while node is not None and len(chain) < MAX_CHAIN:
+            if nodes[node][N_T] < t0 - _EPS:
+                break
+            chain.append(nodes[node][N_ID])
+            prev = net_pred.get(node)
+            if prev is None:
+                prev = causal_pred.get(node)
+            node = prev
+        chain.reverse()         # chronological: cause first
+
+        out.append({
+            "epoch": prow["epoch"],
+            "rank": prow["rank"],
+            "lane": prow["lane"],
+            "suspected": prow["suspected"],
+            "truncated": prow["truncated"],
+            "t_fault": t0,
+            "t_end": t_end,
+            "recovery": recovery,
+            "segments": segments,
+            "attribution": attribution,
+            "chain": chain,
+        })
+    return out
+
+
+def critpath_rollup(obs_doc: Optional[Dict[str, Any]]
+                    ) -> Dict[str, float]:
+    """Total per-phase critical-path seconds across a trial's epochs.
+
+    ``{phase: seconds, "recovery": seconds}`` over non-truncated
+    epochs; empty for fault-free or unobserved trials.
+    """
+    rollup: Dict[str, float] = {}
+    for row in critical_paths(obs_doc):
+        if row["truncated"]:
+            continue
+        for seg in row["segments"]:
+            rollup[seg["phase"]] = rollup.get(seg["phase"], 0.0) \
+                + seg["dur"]
+        rollup["recovery"] = rollup.get("recovery", 0.0) + row["recovery"]
+    return {k: round(v, 9) for k, v in rollup.items()}
+
+
+def render_critical_paths(obs_doc: Optional[Dict[str, Any]]) -> str:
+    """ASCII critical-path report (``repro timeline --phases``)."""
+    rows = critical_paths(obs_doc)
+    if not rows:
+        return "no recovery critical paths (fault-free run or observation off)"
+    lines: List[str] = []
+    for row in rows:
+        head = (f"epoch {row['epoch']}"
+                + (f" rank {row['rank']}" if row["rank"] is not None
+                   else " (full restart)")
+                + f"  fault t={row['t_fault']:.3f}"
+                + f"  recovery {row['recovery']:.3f}s")
+        marks = [m for m, on in (("suspected", row["suspected"]),
+                                 ("truncated", row["truncated"])) if on]
+        if marks:
+            head += "  (" + ", ".join(marks) + ")"
+        lines.append(head)
+        for seg in row["segments"]:
+            lines.append(f"  {seg['phase']:<9} {seg['t0']:>10.3f} ->"
+                         f" {seg['t1']:>10.3f}  {seg['dur']:>8.3f}s")
+        if row["attribution"]:
+            parts = [f"{cat} {v['count']}x/{v['seconds']:.3f}s"
+                     for cat, v in sorted(row["attribution"].items())]
+            lines.append("  wire: " + ", ".join(parts))
+        if row["chain"]:
+            lines.append(f"  causal chain ({len(row['chain'])} nodes): "
+                         + " -> ".join(row["chain"][:6])
+                         + (" ..." if len(row["chain"]) > 6 else ""))
+    return "\n".join(lines)

@@ -408,6 +408,18 @@ class Network:
                     self._channel_last_window[key] = self._window
                     self.payload_windows += 1
 
+        obs = self.engine.obs
+        if obs is not None:
+            # Causal choke point: every stamped message crosses here
+            # exactly once per transmission, with the arrival already
+            # computed — so the graph is a pure function of the
+            # simulated history (see repro.obs.causal).
+            ctx = getattr(msg, "_causal_ctx", None)
+            if ctx is not None:
+                obs.causal.on_transmit(ctx, type(msg).__name__,
+                                       sock.local_host, peer.local_host,
+                                       self.engine.now, arrival, size)
+
         def _arrive() -> None:
             if not peer._rx.closed:
                 peer._rx.put(msg)

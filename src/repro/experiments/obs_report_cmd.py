@@ -1,0 +1,77 @@
+"""``python -m repro obs-report`` — campaign observability rollup.
+
+Aggregates the ``obs`` documents of every result in a
+:class:`~repro.experiments.resultstore.ResultStore` directory (the
+``--cache-dir`` of a campaign) into an OpenMetrics text exposition and
+a static HTML report.  See :mod:`repro.obs.report`.
+
+Example::
+
+    python -m repro compare-protocols --quick --reps 1 --cache-dir store
+    python -m repro obs-report --store store --out report
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from repro.experiments.resultstore import FORMAT_VERSION
+from repro.obs.report import write_obs_report
+
+
+def collect_obs_docs(store_root: str):
+    """Every ``obs`` document in a result-store directory.
+
+    Walks the two-level store in sorted order (deterministic
+    aggregation input order) and yields the obs document of every
+    readable, current-format result that recorded one.  Returns the
+    list plus a count of skipped entries (unreadable, version-skewed,
+    or unobserved).
+    """
+    docs = []
+    skipped = 0
+    for dirpath, dirnames, filenames in sorted(os.walk(store_root)):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(dirpath, name)
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    doc = json.load(fh)
+            except (OSError, ValueError):
+                skipped += 1
+                continue
+            if not isinstance(doc, dict) \
+                    or doc.get("format") != FORMAT_VERSION \
+                    or not doc.get("obs"):
+                skipped += 1
+                continue
+            docs.append(doc["obs"])
+    return docs, skipped
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--store", required=True, metavar="DIR",
+                        help="result-store root (a campaign's --cache-dir)")
+    parser.add_argument("--out", required=True, metavar="DIR",
+                        help="output directory for metrics.txt + index.html")
+    parser.add_argument("--title", default="repro campaign",
+                        help="report title (default: 'repro campaign')")
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.store):
+        raise SystemExit(f"no such result store: {args.store}")
+    docs, skipped = collect_obs_docs(args.store)
+    paths = write_obs_report(args.out, docs, title=args.title)
+    print(f"aggregated {len(docs)} observed trials "
+          f"({skipped} entries skipped)")
+    for kind in sorted(paths):
+        print(f"  {kind}: {paths[kind]}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

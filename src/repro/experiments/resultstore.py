@@ -35,7 +35,12 @@ from repro.analysis.traces import Trace, TraceRecord
 from repro.mpichv.runtime import RunResult
 
 #: bump when the document layout changes; readers reject other versions
-FORMAT_VERSION = 7    # 7: the observability document (``obs``: span
+FORMAT_VERSION = 8    # 8: causal message tracing — the obs document
+#                       gains a ``causal`` event graph (version 2, see
+#                       repro.obs.causal) and the verdict gains
+#                       ``critpath_segments``, the per-phase recovery
+#                       critical-path rollup.
+#                       7: the observability document (``obs``: span
 #                       rows + metrics registry, see repro.obs) and the
 #                       span-derived verdict fields (detect_latency,
 #                       replay_seconds).  Everything outside the obs
@@ -95,6 +100,7 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
             "reason": verdict.reason,
             "detect_latency": verdict.detect_latency,
             "replay_seconds": verdict.replay_seconds,
+            "critpath_segments": verdict.critpath_segments,
         },
         "trace": trace_to_dict(result.trace),
         "sim_time": result.sim_time,
@@ -132,6 +138,7 @@ def run_result_from_dict(doc: Dict[str, Any]) -> RunResult:
         reason=v["reason"],
         detect_latency=v.get("detect_latency"),
         replay_seconds=v.get("replay_seconds"),
+        critpath_segments=v.get("critpath_segments"),
     )
     return RunResult(
         verdict=verdict,

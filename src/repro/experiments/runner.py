@@ -48,7 +48,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 
 #: bump to invalidate every existing cache entry (key derivation or
 #: simulation semantics changed)
-CACHE_VERSION = 8        # 8: observability document on results
+CACHE_VERSION = 9        # 9: causal event graph in the obs document
+#                          and critpath_segments on verdicts (result
+#                          format 8) — cached format-7 entries would
+#                          silently lack the causal graph
+#                          8: observability document on results
 #                          (result format 7); TrialSetup.observe joins
 #                          the key — observed and unobserved results
 #                          are different wire documents
@@ -202,7 +206,8 @@ class TrialRunner:
                  cache_dir: Optional[str] = None,
                  use_cache: bool = True,
                  engine_workers: int = 1,
-                 trace_out: Optional[str] = None):
+                 trace_out: Optional[str] = None,
+                 obs_report: Optional[str] = None):
         self.workers = max(1, int(workers))
         self.engine_workers = max(1, int(engine_workers))
         self.store: Optional[ResultStore] = (
@@ -212,6 +217,10 @@ class TrialRunner:
         #: observed result — preferring a faulted one — is written once
         self.trace_out = trace_out
         self._trace_written = False
+        #: campaign observability rollup directory (``--obs-report``);
+        #: rewritten after every batch over all observed results so far
+        self.obs_report = obs_report
+        self._obs_docs: List[dict] = []
 
     def run_jobs(self, jobs: Sequence[Tuple["TrialSetup", int]]
                  ) -> List[RunResult]:
@@ -247,6 +256,7 @@ class TrialRunner:
         elif pending:
             self._run_pool(jobs, pending, keys, results)
         self._maybe_export_trace(results)
+        self._maybe_export_obs_report(results)
         return results  # type: ignore[return-value]  # every slot filled
 
     def _run_pool(self, jobs, pending, keys, results) -> None:
@@ -284,6 +294,26 @@ class TrialRunner:
         print(f"wrote Chrome trace to {self.trace_out} "
               f"(open in chrome://tracing or ui.perfetto.dev)")
 
+    def _maybe_export_obs_report(self, results: Sequence[Optional[RunResult]]
+                                 ) -> None:
+        """Rewrite the ``--obs-report`` campaign rollup (every batch).
+
+        The rollup accumulates every observed result the runner has
+        produced so far, in submission order — the report after the
+        final batch covers the whole campaign, and the bytes are
+        identical no matter how the batches executed.
+        """
+        if self.obs_report is None:
+            return
+        self._obs_docs.extend(r.obs for r in results
+                              if r is not None and r.obs)
+        if not self._obs_docs:
+            return
+        from repro.obs.report import write_obs_report
+        paths = write_obs_report(self.obs_report, self._obs_docs)
+        print(f"wrote campaign obs report to {paths['html']} "
+              f"({len(self._obs_docs)} observed trials)")
+
 
 # -- CLI plumbing shared by every experiment driver --------------------------
 
@@ -313,6 +343,12 @@ def add_runner_arguments(parser) -> None:
              "observed (preferring faulted) trial to FILE — open in "
              "chrome://tracing or ui.perfetto.dev (see "
              "docs/observability.md)")
+    group.add_argument(
+        "--obs-report", default=None, metavar="DIR",
+        help="write a campaign-level observability rollup under DIR: "
+             "an OpenMetrics text exposition (metrics.txt) and a "
+             "static HTML report (index.html) aggregated over every "
+             "observed trial (see docs/observability.md)")
 
 
 def runner_from_args(args) -> TrialRunner:
@@ -321,4 +357,5 @@ def runner_from_args(args) -> TrialRunner:
                        cache_dir=getattr(args, "cache_dir", None),
                        use_cache=not getattr(args, "no_cache", False),
                        engine_workers=getattr(args, "engine_workers", 1),
-                       trace_out=getattr(args, "trace_out", None))
+                       trace_out=getattr(args, "trace_out", None),
+                       obs_report=getattr(args, "obs_report", None))

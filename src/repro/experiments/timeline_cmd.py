@@ -17,10 +17,13 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 from typing import List, Tuple
 
+from repro.analysis.critpath import render_critical_paths
 from repro.analysis.timeline import render_timeline
 from repro.experiments.harness import TrialSetup
+from repro.experiments.resultstore import run_result_to_dict
 from repro.explore import generators
 from repro.explore.generators import (Heal, Step, TimedKill, TimedPartition,
                                       render_plan)
@@ -84,6 +87,10 @@ def main() -> None:
     parser.add_argument("--trace-out", default=None, metavar="FILE",
                         help="write a Chrome-trace/Perfetto JSON of the "
                              "trial's spans to FILE")
+    parser.add_argument("--obs-out", default=None, metavar="FILE",
+                        help="write the trial's full result document "
+                             "(verdict + obs, the wire format) to FILE — "
+                             "feed two of these to `repro trace-diff`")
     args = parser.parse_args()
 
     plan = build_plan(args.kill, args.partition, args.heal_after)
@@ -103,6 +110,9 @@ def main() -> None:
         print()
         print("== recovery phases (sim seconds, from repro.obs spans) ==")
         print(render_phase_table(result.obs))
+        print()
+        print("== recovery critical paths (repro.analysis.critpath) ==")
+        print(render_critical_paths(result.obs))
     if result.obs:
         rollups = span_rollups(result.obs)
         if rollups:
@@ -117,6 +127,12 @@ def main() -> None:
                   f"seed={args.seed}")
         print(f"wrote Chrome trace to {args.trace_out} "
               f"(open in chrome://tracing or ui.perfetto.dev)")
+    if args.obs_out:
+        with open(args.obs_out, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(run_result_to_dict(result),
+                                sort_keys=True, separators=(",", ":"))
+                     + "\n")
+        print(f"wrote result document to {args.obs_out}")
 
 
 if __name__ == "__main__":  # pragma: no cover

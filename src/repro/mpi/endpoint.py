@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, List, Protocol
 
 from repro.mpi.message import ANY, AppMessage
+from repro.obs.causal import stamp
 
 #: key under which the endpoint stores unmatched-but-consumed messages
 UNMATCHED_KEY = "_mpi_unmatched"
@@ -105,7 +106,11 @@ class MpiEndpoint:
         """
         if not (0 <= dst < self.size):
             raise ValueError(f"send to invalid rank {dst}")
-        self.transport.app_send(AppMessage(self.rank, dst, tag, payload, size))
+        msg = AppMessage(self.rank, dst, tag, payload, size)
+        # root of a causal trace: every hop this message takes (daemon
+        # envelope, channel-memory relay, logged replay) extends it
+        stamp(self.engine, msg, f"r{self.rank}")
+        self.transport.app_send(msg)
         self.sent_count += 1
 
     def recv(self, src: int = ANY, tag: int = ANY):

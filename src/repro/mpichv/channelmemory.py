@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.cluster.unixproc import UnixProcess
 from repro.mpi.message import AppMessage
 from repro.mpichv import wire
+from repro.obs import causal
 from repro.simkernel.store import StoreClosed
 
 #: log entry: (pos, src, src_seq, message)
@@ -86,10 +87,12 @@ def channel_memory_main(proc: UnixProcess, config, index: int):
     #: receiver rank -> forwarding socket of its attached daemon
     attached: Dict[int, Any] = {}
 
-    def forward(sock, dst: int, entry: LogEntry) -> None:
+    def forward(sock, dst: int, entry: LogEntry, cause) -> None:
         pos, src, seq, msg = entry
-        sock.send(wire.CMDeliver(rank=dst, pos=pos, src=src, seq=seq,
-                                 app=msg))
+        out = wire.CMDeliver(rank=dst, pos=pos, src=src, seq=seq, app=msg)
+        # second hop: caused by the put (live) or the attach (replay)
+        causal.derive(engine, out, f"cm{index}", cause)
+        sock.send(out)
         state.forwarded += 1
 
     def handle_conn(sock):
@@ -110,7 +113,7 @@ def channel_memory_main(proc: UnixProcess, config, index: int):
                     out = attached.get(msg.dst)
                     if out is not None and not out.closed and out.peer_alive:
                         forward(out, msg.dst,
-                                (pos, msg.src, msg.seq, msg.app))
+                                (pos, msg.src, msg.seq, msg.app), msg)
             elif isinstance(msg, wire.CMAttach):
                 attached_rank = msg.rank
                 attached[msg.rank] = sock
@@ -131,7 +134,7 @@ def channel_memory_main(proc: UnixProcess, config, index: int):
                 for entry in entries:
                     if sock.closed or not sock.peer_alive:
                         break
-                    forward(sock, msg.rank, entry)
+                    forward(sock, msg.rank, entry, msg)
             elif isinstance(msg, wire.CMPrune):
                 state.prune(msg.rank, msg.upto)
             elif isinstance(msg, wire.Shutdown):

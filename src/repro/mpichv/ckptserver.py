@@ -19,6 +19,7 @@ from typing import Dict, Optional
 from repro.cluster.unixproc import UnixProcess
 from repro.mpichv.checkpoint import CheckpointImage
 from repro.mpichv import wire
+from repro.obs import causal
 from repro.simkernel.store import Store, StoreClosed
 
 
@@ -116,13 +117,16 @@ def ckpt_server_main(proc: UnixProcess, config, server_index: int):
                                       state=msg.state, logs=list(msg.logs),
                                       img_size=msg.img_size)
 
-                def _stored(img=img, sock=sock):
+                def _stored(img=img, sock=sock, cause=msg):
                     state.store_image(img)
                     state.bytes_ingested += img.img_size
                     engine.log("ckpt_stored", rank=img.rank, wave=img.wave,
                                server=server_index)
                     if not sock.closed and sock.peer_alive:
-                        sock.send(wire.CkptStoredAck(rank=img.rank, wave=img.wave))
+                        ack = wire.CkptStoredAck(rank=img.rank, wave=img.wave)
+                        causal.derive(engine, ack, f"ckpt{server_index}",
+                                      cause)
+                        sock.send(ack)
 
                 disk_q.put(("image", msg.img_size, engine.now, _stored))
             elif isinstance(msg, wire.CkptLogAppend):
@@ -131,7 +135,9 @@ def ckpt_server_main(proc: UnixProcess, config, server_index: int):
                     state.append_logs(msg.rank, msg.wave, msg.logs)
                     state.bytes_ingested += msg.size
                     if not sock.closed and sock.peer_alive:
-                        sock.send(wire.CkptStoredAck(rank=msg.rank, wave=msg.wave))
+                        ack = wire.CkptStoredAck(rank=msg.rank, wave=msg.wave)
+                        causal.derive(engine, ack, f"ckpt{server_index}", msg)
+                        sock.send(ack)
 
                 disk_q.put(("logs", msg.size, engine.now, _logged))
             elif isinstance(msg, wire.FetchReq):
@@ -145,6 +151,7 @@ def ckpt_server_main(proc: UnixProcess, config, server_index: int):
                         resp = wire.FetchResp(rank=msg.rank, wave=snap.wave,
                                               state=snap.state, logs=snap.logs,
                                               img_size=snap.img_size)
+                    causal.derive(engine, resp, f"ckpt{server_index}", msg)
                     if not sock.closed and sock.peer_alive:
                         sock.send(resp)
 

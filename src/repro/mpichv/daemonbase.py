@@ -36,6 +36,7 @@ from repro.mpi.endpoint import LocalDelivery, MpiEndpoint
 from repro.mpi.message import AppMessage
 from repro.mpichv import shardmap, wire
 from repro.mpichv.checkpoint import CheckpointImage, node_local_store
+from repro.obs import causal
 from repro.simkernel.store import StoreClosed
 
 
@@ -157,7 +158,9 @@ class MpichDaemon:
     def app_done(self) -> None:
         self.finished = True
         if self.disp_sock is not None and not self.disp_sock.closed:
-            self.disp_sock.send(wire.Done(rank=self.rank))
+            done = wire.Done(rank=self.rank)
+            causal.stamp(self.engine, done, f"r{self.rank}")
+            self.disp_sock.send(done)
 
     def app_thread(self):
         ep = MpiEndpoint(self.rank, self.n, self.app_state, self, self.engine)
@@ -232,9 +235,11 @@ class MpichDaemon:
         yield self.engine.timeout(img.img_size / self.timing.local_disk_bw)
         node_local_store(self.proc.node).store(img)
         if self.ckpt_sock is not None and not self.ckpt_sock.closed:
-            self.ckpt_sock.send(wire.CkptStore(
+            store_msg = wire.CkptStore(
                 rank=self.rank, wave=wave, state=img.state, logs=[],
-                img_size=img.img_size))
+                img_size=img.img_size)
+            causal.stamp(self.engine, store_msg, f"r{self.rank}")
+            self.ckpt_sock.send(store_msg)
         span.close()
         self.post_checkpoint(img)
         self.engine.log(f"{self.protocol}_ckpt", rank=self.rank, wave=wave)
@@ -256,7 +261,9 @@ class MpichDaemon:
             yield self.engine.timeout(img.img_size / self.timing.local_disk_bw)
             img = img.snapshot_of()
         else:
-            self.ckpt_sock.send(wire.FetchReq(rank=self.rank, wave=None))
+            req = wire.FetchReq(rank=self.rank, wave=None)
+            causal.stamp(self.engine, req, f"r{self.rank}")
+            self.ckpt_sock.send(req)
             resp = yield self.ckpt_sock.recv()
             assert isinstance(resp, wire.FetchResp), resp
             if resp.wave is None:
@@ -346,8 +353,10 @@ def daemon_lifecycle(core_cls, proc: UnixProcess, config, rank: int,
     disp_addr = cluster.node(shardmap.DISPATCHER_NODE).addr(config.dispatcher_port)
     core.disp_sock = yield from connect_retry(
         proc, disp_addr, timing.connect_retry_initial, timing.connect_retry_max)
-    core.disp_sock.send(wire.Register(rank=rank, addr=listener.addr,
-                                      epoch=epoch, incarnation=incarnation))
+    reg = wire.Register(rank=rank, addr=listener.addr,
+                        epoch=epoch, incarnation=incarnation)
+    causal.stamp(engine, reg, f"r{rank}")
+    core.disp_sock.send(reg)
     try:
         ack = yield core.disp_sock.recv()
     except StoreClosed:

@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Optional, Set
 from repro.analysis.coverage import hit_bucket
 from repro.cluster.unixproc import UnixProcess
 from repro.mpichv import protocols, shardmap, wire
+from repro.obs import causal
 from repro.simkernel.store import StoreClosed
 
 LAUNCHING = "launching"
@@ -166,6 +167,7 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
     def all_registered() -> None:
         cmd = wire.CommandMap(epoch=state.epoch, addrs=dict(state.addrs),
                               restore_wave=state.restore_wave)
+        causal.stamp(engine, cmd, "disp")
         for sock in state.reg.values():
             if not sock.closed:
                 sock.send(cmd)
@@ -211,7 +213,9 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
                 spawn_slot(rank)            # machine already free
             else:
                 state.pending_term[rank] = state.epoch - 1
-                sock.send(wire.Terminate())
+                term = wire.Terminate()
+                causal.stamp(engine, term, "disp")
+                sock.send(term)
         # Ranks that were mid-spawn (no socket yet) get torn down and
         # relaunched for the new epoch — their machine must be freed
         # before the new daemon can bind the port.
@@ -227,11 +231,13 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
     def finish() -> None:
         state.phase = DONE
         engine.log("app_done", epoch=state.epoch)
+        down = wire.Shutdown()
+        causal.stamp(engine, down, "disp")
         for sock in state.reg.values():
             if not sock.closed:
-                sock.send(wire.Shutdown())
+                sock.send(down)
         if sched_conn[0] is not None and not sched_conn[0].closed:
-            sched_conn[0].send(wire.Shutdown())
+            sched_conn[0].send(down)
         engine.call_later(2.0, proc.exit)
 
     # ------------------------------------------------------------------
@@ -326,14 +332,18 @@ def dispatcher_main(proc: UnixProcess, config, app_factory,
         state.reg[rank] = sock
         state.addrs[rank] = msg.addr
         state.status[rank] = "registered"
-        sock.send(wire.RegisterAck(rank=rank))
+        ack = wire.RegisterAck(rank=rank)
+        causal.derive(engine, ack, "disp", msg)
+        sock.send(ack)
         if state.phase == RUNNING and single_rank_restart:
             # single-rank restart: the rest of the system never
             # stopped; hand the newcomer its command map directly.
             engine.cover("disp.reg.single_rank_cmdmap")
-            sock.send(wire.CommandMap(epoch=state.epoch,
-                                      addrs=dict(state.addrs),
-                                      restore_wave=None))
+            cmd = wire.CommandMap(epoch=state.epoch,
+                                  addrs=dict(state.addrs),
+                                  restore_wave=None)
+            causal.derive(engine, cmd, "disp", msg)
+            sock.send(cmd)
             engine.log("recovery_complete", epoch=state.epoch, rank=rank,
                        protocol=spec.name)
             span = relaunch_by_rank.pop(rank, None)

@@ -14,6 +14,7 @@ from typing import Dict, List, Tuple
 
 from repro.cluster.unixproc import UnixProcess
 from repro.mpichv import wire
+from repro.obs import causal
 from repro.simkernel.store import StoreClosed
 
 
@@ -63,13 +64,17 @@ def eventlog_main(proc: UnixProcess, config):
             if isinstance(msg, wire.EvLog):
                 state.append(msg.rank, msg.pos, msg.src, msg.src_seq)
                 if not sock.closed and sock.peer_alive:
-                    sock.send(wire.EvLogAck(rank=msg.rank, pos=msg.pos))
+                    ack = wire.EvLogAck(rank=msg.rank, pos=msg.pos)
+                    causal.derive(engine, ack, "evlog", msg)
+                    sock.send(ack)
             elif isinstance(msg, wire.EvFetch):
                 events = state.fetch_after(msg.rank, msg.after)
                 if not sock.closed and sock.peer_alive:
-                    sock.send(wire.EvFetchResp(
+                    resp = wire.EvFetchResp(
                         rank=msg.rank, events=events,
-                        size=max(256, 32 * len(events))))
+                        size=max(256, 32 * len(events)))
+                    causal.derive(engine, resp, "evlog", msg)
+                    sock.send(resp)
             elif isinstance(msg, wire.EvPrune):
                 state.prune(msg.rank, msg.upto)
             elif isinstance(msg, wire.Shutdown):

@@ -14,6 +14,7 @@ from typing import Dict, Optional, Set
 
 from repro.cluster.unixproc import UnixProcess
 from repro.mpichv import shardmap, wire
+from repro.obs import causal
 from repro.simkernel.store import StoreClosed
 
 
@@ -82,7 +83,7 @@ def scheduler_main(proc: UnixProcess, config):
                 span.close(aborted=True, reason=reason)
                 wave_span[0] = None
 
-    def commit_wave() -> None:
+    def commit_wave(cause=None) -> None:
         state.in_progress = False
         state.committed_wave = state.wave_id
         state.waves_committed += 1
@@ -96,6 +97,8 @@ def scheduler_main(proc: UnixProcess, config):
             span.close(acks=n)
             wave_span[0] = None
         note = wire.WaveCommit(wave=state.wave_id)
+        # the commit is caused by the last ack that completed the wave
+        causal.derive(engine, note, "sched", cause)
         for sock in server_socks:
             if not sock.closed:
                 sock.send(note)
@@ -121,7 +124,7 @@ def scheduler_main(proc: UnixProcess, config):
                 if state.in_progress and msg.wave == state.wave_id:
                     state.acks.add(msg.rank)
                     if len(state.acks) == n:
-                        commit_wave()
+                        commit_wave(msg)
             elif isinstance(msg, wire.Shutdown):
                 engine.call_later(0.0, proc.kill)
                 return
@@ -160,6 +163,7 @@ def scheduler_main(proc: UnixProcess, config):
         engine.span("initiate", lane=shardmap.COORDINATOR_NODE,
                     wave=state.wave_id, ranks=n).close()
         marker = wire.Marker(wave=state.wave_id, src_rank=-1)
+        causal.stamp(engine, marker, "sched")
         for sock in list(state.conns.values()):
             if not sock.closed:
                 sock.send(marker)

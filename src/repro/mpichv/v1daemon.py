@@ -34,6 +34,7 @@ from repro.mpi.message import AppMessage
 from repro.mpichv import shardmap, wire
 from repro.mpichv.checkpoint import CheckpointImage
 from repro.mpichv.daemonbase import MpichDaemon, daemon_lifecycle
+from repro.obs import causal
 from repro.simkernel.store import StoreClosed
 
 DELIVERED = "_v1_delivered"      # position in the home CM's delivery order
@@ -73,8 +74,9 @@ class V1Daemon(MpichDaemon):
         sent[msg.dst] = seq
         sock = self.cm_socks[home_cm(msg.dst, len(self.cm_socks))]
         if sock is not None and not sock.closed:
-            sock.send(wire.CMPut(src=self.rank, dst=msg.dst, seq=seq,
-                                 app=msg))
+            put = wire.CMPut(src=self.rank, dst=msg.dst, seq=seq, app=msg)
+            causal.adopt(put, msg)      # first hop of the double transit
+            sock.send(put)
         # CMs live on service nodes and never fail in our scenarios, so
         # a closed socket here only happens during daemon teardown.
 
@@ -104,8 +106,10 @@ class V1Daemon(MpichDaemon):
         # the home CM may discard log entries this image covers
         sock = self.cm_socks[self.home_cm]
         if sock is not None and not sock.closed:
-            sock.send(wire.CMPrune(rank=self.rank,
-                                   upto=img.state[DELIVERED]))
+            prune = wire.CMPrune(rank=self.rank,
+                                 upto=img.state[DELIVERED])
+            causal.stamp(self.engine, prune, f"r{self.rank}")
+            sock.send(prune)
 
     # ------------------------------------------------------------------
     # lifecycle hooks
@@ -128,8 +132,10 @@ class V1Daemon(MpichDaemon):
         # (Re)bind the forwarding channel: the CM replays everything
         # past the restored delivery position, then streams live.
         sock = self.cm_socks[self.home_cm]
-        sock.send(wire.CMAttach(rank=self.rank,
-                                after=self.app_state[DELIVERED]))
+        attach = wire.CMAttach(rank=self.rank,
+                               after=self.app_state[DELIVERED])
+        causal.stamp(self.engine, attach, f"r{self.rank}")
+        sock.send(attach)
         self.proc.spawn_thread(self.cm_reader(sock),
                                name=f"v1.{self.rank}.cm")
         self.proc.spawn_thread(self.independent_ckpt_loop(),

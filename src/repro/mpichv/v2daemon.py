@@ -44,6 +44,7 @@ from repro.mpichv import shardmap, wire
 from repro.mpichv.checkpoint import CheckpointImage
 from repro.mpichv.daemonbase import (MpichDaemon, connect_retry,
                                      daemon_lifecycle)
+from repro.obs import causal
 from repro.simkernel.store import StoreClosed
 
 DELIVERED = "_v2_delivered"
@@ -104,7 +105,9 @@ class V2Daemon(MpichDaemon):
         self.send_log[msg.dst].append((seq, msg))
         sock = self.peers.get(msg.dst)
         if sock is not None and not sock.closed:
-            sock.send(wire.V2Data(app=msg, seq=seq))
+            data = wire.V2Data(app=msg, seq=seq)
+            causal.adopt(data, msg)     # envelope continues the trace
+            sock.send(data)
         # else: peer down — the log holds it until the new incarnation
         # dials in and requests a resend.
 
@@ -126,8 +129,10 @@ class V2Daemon(MpichDaemon):
         self.next_pos_to_log = pos
         self.held.append((pos, src, seq, msg))
         if self.evlog_sock is not None and not self.evlog_sock.closed:
-            self.evlog_sock.send(wire.EvLog(rank=self.rank, pos=pos,
-                                            src=src, src_seq=seq))
+            ev = wire.EvLog(rank=self.rank, pos=pos, src=src, src_seq=seq)
+            # the log record is caused by the message's arrival
+            causal.derive(self.engine, ev, f"r{self.rank}", msg)
+            self.evlog_sock.send(ev)
 
     def on_evlog_ack(self, pos: int) -> None:
         # acks arrive in order (FIFO connection); deliver the head
@@ -201,7 +206,9 @@ class V2Daemon(MpichDaemon):
         if resend_from:
             for seq, msg in self.send_log[peer_rank]:
                 if seq >= resend_from and not sock.closed:
-                    sock.send(wire.V2Data(app=msg, seq=seq))
+                    data = wire.V2Data(app=msg, seq=seq)
+                    causal.adopt(data, msg)     # replay: same trace, new hop
+                    sock.send(data)
         self.check_mesh()
 
     def peer_reader(self, sock, peer_rank: int):
@@ -236,12 +243,15 @@ class V2Daemon(MpichDaemon):
         # sender logs + event log can be pruned up to this image
         for peer_rank, sock in self.peers.items():
             if not sock.closed:
-                sock.send(wire.V2GcNote(
+                note = wire.V2GcNote(
                     rank=self.rank,
-                    upto=img.state[DELIVERED].get(peer_rank, 0)))
+                    upto=img.state[DELIVERED].get(peer_rank, 0))
+                causal.stamp(self.engine, note, f"r{self.rank}")
+                sock.send(note)
         if self.evlog_sock is not None and not self.evlog_sock.closed:
-            self.evlog_sock.send(wire.EvPrune(rank=self.rank,
-                                              upto=img.state[POS]))
+            prune = wire.EvPrune(rank=self.rank, upto=img.state[POS])
+            causal.stamp(self.engine, prune, f"r{self.rank}")
+            self.evlog_sock.send(prune)
 
     # ------------------------------------------------------------------
     # lifecycle hooks
@@ -276,8 +286,10 @@ class V2Daemon(MpichDaemon):
             return
         resend_from = (self.app_state[DELIVERED].get(peer_rank, 0) + 1
                        if self.restarted else 0)
-        sock.send(wire.V2Hello(rank=self.rank, incarnation=self.incarnation,
-                               resend_from=resend_from))
+        hello = wire.V2Hello(rank=self.rank, incarnation=self.incarnation,
+                             resend_from=resend_from)
+        causal.stamp(self.engine, hello, f"r{self.rank}")
+        sock.send(hello)
         self.proc.spawn_thread(self.peer_reader(sock, peer_rank),
                                name=f"v2.{self.rank}.peer{peer_rank}")
         self.attach_peer(peer_rank, sock, 0)
@@ -285,8 +297,9 @@ class V2Daemon(MpichDaemon):
     def after_mesh(self, cmd):
         # --- replay the delivery history of a restarted incarnation ---
         if self.restarted:
-            self.evlog_sock.send(wire.EvFetch(rank=self.rank,
-                                              after=self.app_state[POS]))
+            fetch = wire.EvFetch(rank=self.rank, after=self.app_state[POS])
+            causal.stamp(self.engine, fetch, f"r{self.rank}")
+            self.evlog_sock.send(fetch)
             resp = yield self.evlog_sock.recv()
             assert isinstance(resp, wire.EvFetchResp), resp
             self.begin_replay(list(resp.events))

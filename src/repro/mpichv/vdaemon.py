@@ -39,6 +39,7 @@ from repro.mpichv import shardmap, wire
 from repro.mpichv.checkpoint import CheckpointImage, node_local_store
 from repro.mpichv.daemonbase import (MpichDaemon, connect_retry,
                                      daemon_lifecycle)
+from repro.obs import causal
 from repro.simkernel.store import StoreClosed
 
 __all__ = ["VclDaemon", "vdaemon_main", "connect_retry"]
@@ -75,7 +76,9 @@ class VclDaemon(MpichDaemon):
             return
         sock = self.peers.get(msg.dst)
         if sock is not None and not sock.closed:
-            sock.send(wire.DataMsg(msg))
+            dm = wire.DataMsg(msg)
+            causal.adopt(dm, msg)   # the envelope continues the trace
+            sock.send(dm)
         # else: peer dead — a failure is being detected; the rollback
         # will discard this whole execution line anyway.
 
@@ -87,13 +90,15 @@ class VclDaemon(MpichDaemon):
         if wave <= self.current_wave:
             return                      # duplicate / stale marker
         if self.logging_wave is None and wave > self.current_wave:
-            self._begin_local_checkpoint(wave, from_rank=marker.src_rank)
+            self._begin_local_checkpoint(wave, from_rank=marker.src_rank,
+                                         cause=marker)
         if marker.src_rank >= 0 and self.logging_wave == wave:
             self.pending_markers.discard(marker.src_rank)
             if not self.pending_markers:
                 self._finish_logging()
 
-    def _begin_local_checkpoint(self, wave: int, from_rank: int) -> None:
+    def _begin_local_checkpoint(self, wave: int, from_rank: int,
+                                cause=None) -> None:
         self.logging_wave = wave
         self.store_acks[wave] = 0
         if self.config.blocking:
@@ -117,6 +122,7 @@ class VclDaemon(MpichDaemon):
             self.late_logs = []
         # Relay the marker on every outgoing channel.
         out_marker = wire.Marker(wave=wave, src_rank=self.rank)
+        causal.derive(self.engine, out_marker, f"r{self.rank}", cause)
         for sock in self.peers.values():
             if not sock.closed:
                 sock.send(out_marker)
@@ -160,8 +166,10 @@ class VclDaemon(MpichDaemon):
         img.logs.extend(self.late_logs)
         img.complete = True
         if self.ckpt_sock is not None and not self.ckpt_sock.closed:
-            self.ckpt_sock.send(wire.CkptLogAppend(rank=self.rank, wave=wave,
-                                                   logs=list(self.late_logs)))
+            append = wire.CkptLogAppend(rank=self.rank, wave=wave,
+                                        logs=list(self.late_logs))
+            causal.stamp(self.engine, append, f"r{self.rank}")
+            self.ckpt_sock.send(append)
         self.late_logs = []
 
     def _ckpt_transfer(self, img: CheckpointImage):
@@ -179,9 +187,11 @@ class VclDaemon(MpichDaemon):
             self.app_proc.resume()
         # pipeline to the checkpoint server over the data connection
         if self.ckpt_sock is not None and not self.ckpt_sock.closed:
-            self.ckpt_sock.send(wire.CkptStore(
+            store_msg = wire.CkptStore(
                 rank=self.rank, wave=img.wave, state=img.state,
-                logs=list(img.logs), img_size=img.img_size))
+                logs=list(img.logs), img_size=img.img_size)
+            causal.stamp(self.engine, store_msg, f"r{self.rank}")
+            self.ckpt_sock.send(store_msg)
         span.close()
 
     def _note_store_ack(self, wave: int) -> None:
@@ -195,7 +205,9 @@ class VclDaemon(MpichDaemon):
         if (self.store_acks.get(wave, 0) >= needed
                 and wave in self.logging_done
                 and self.sched_sock is not None and not self.sched_sock.closed):
-            self.sched_sock.send(wire.SchedAck(rank=self.rank, wave=wave))
+            ack = wire.SchedAck(rank=self.rank, wave=wave)
+            causal.stamp(self.engine, ack, f"r{self.rank}")
+            self.sched_sock.send(ack)
 
     def on_data(self, from_rank: int, msg: AppMessage) -> None:
         if self.logging_wave is not None:
@@ -226,7 +238,9 @@ class VclDaemon(MpichDaemon):
             yield self.engine.timeout(local.img_size / self.timing.local_disk_bw)
             img = local.snapshot_of()
         else:
-            self.ckpt_sock.send(wire.FetchReq(rank=self.rank, wave=restore_wave))
+            req = wire.FetchReq(rank=self.rank, wave=restore_wave)
+            causal.stamp(self.engine, req, f"r{self.rank}")
+            self.ckpt_sock.send(req)
             resp = yield self.ckpt_sock.recv()
             assert isinstance(resp, wire.FetchResp), resp
             if resp.wave is None:
@@ -317,7 +331,9 @@ class VclDaemon(MpichDaemon):
             self.timing.connect_retry_max, stop=lambda: self.terminating)
         if sock is None:
             return
-        sock.send(wire.Hello(rank=self.rank, epoch=self.epoch))
+        hello = wire.Hello(rank=self.rank, epoch=self.epoch)
+        causal.stamp(self.engine, hello, f"r{self.rank}")
+        sock.send(hello)
         self.peers[peer_rank] = sock
         self.proc.spawn_thread(self.peer_reader(sock, peer_rank),
                                name=f"vcl.{self.rank}.peer{peer_rank}")
@@ -328,8 +344,9 @@ class VclDaemon(MpichDaemon):
         # marker wave can never catch this daemon with missing outgoing
         # channels (which would strand the wave).
         if self.config.fault_tolerant:
-            self.sched_sock.send(wire.SchedHello(rank=self.rank,
-                                                 epoch=self.epoch))
+            shello = wire.SchedHello(rank=self.rank, epoch=self.epoch)
+            causal.stamp(self.engine, shello, f"r{self.rank}")
+            self.sched_sock.send(shello)
             self.proc.spawn_thread(self.sched_reader(),
                                    name=f"vcl.{self.rank}.sched")
         yield from ()

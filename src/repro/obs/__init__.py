@@ -12,9 +12,15 @@ Three cooperating pieces, all pure functions of the simulated history
 * :mod:`repro.obs.metrics` — a registry of counters, gauges and
   log-bucketed histograms keyed by stable label strings (the
   ``hit_bucket`` idiom of :mod:`repro.analysis.coverage`);
+* :mod:`repro.obs.causal` — the causal message-tracing graph: every
+  minted wire message carries a deterministic ``(trace_id, parent)``
+  context, and the network's transmit choke point records the bounded
+  per-trial event graph that :mod:`repro.analysis.critpath` walks;
 * exporters — :mod:`repro.obs.chrometrace` (Chrome-trace / Perfetto
-  JSON, one lane per host) and :mod:`repro.obs.phases` (the per-epoch
-  phase table behind ``python -m repro timeline --phases``).
+  JSON, one lane per host, plus critical-path flow events),
+  :mod:`repro.obs.phases` (the per-epoch phase table behind ``python
+  -m repro timeline --phases``) and :mod:`repro.obs.report` (the
+  campaign-level OpenMetrics + HTML rollup).
 
 The wire form is the compact ``obs`` document on
 :class:`repro.mpichv.runtime.RunResult`: span rows plus the metrics
@@ -28,9 +34,12 @@ that legitimately vary with the execution mode) lives in a separate
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import (FIELDS, KIND, LANE, NULL_SPAN, T0, T1, Obs,
                              span_rollups)
+from repro.obs.causal import CausalGraph, causal_kind_rollup
 from repro.obs.chrometrace import (chrome_trace_doc, chrome_trace_json,
                                    write_chrome_trace)
 from repro.obs.phases import epoch_phase_table, render_phase_table
+from repro.obs.report import (aggregate_obs, html_report, openmetrics_text,
+                              write_obs_report)
 
 __all__ = [
     "MetricsRegistry",
@@ -38,9 +47,15 @@ __all__ = [
     "NULL_SPAN",
     "T0", "T1", "KIND", "LANE", "FIELDS",
     "span_rollups",
+    "CausalGraph",
+    "causal_kind_rollup",
     "chrome_trace_doc",
     "chrome_trace_json",
     "write_chrome_trace",
     "epoch_phase_table",
     "render_phase_table",
+    "aggregate_obs",
+    "openmetrics_text",
+    "html_report",
+    "write_obs_report",
 ]

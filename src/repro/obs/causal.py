@@ -1,0 +1,209 @@
+"""Causal message tracing: a bounded per-trial event graph.
+
+Every wire message a protocol component *mints* carries a causal
+context — a ``(trace_id, parent_node)`` pair attached to the message
+object itself — and the network's single transmit choke point
+(:meth:`repro.cluster.network.Network._transmit`) turns each stamped
+transmission into two graph nodes (send, receive) plus the edges that
+connect them: a ``net`` edge from send to receive, and a ``causal``
+edge from the parent node (the receive that *caused* this message)
+to the send.  Walking the edges backward from any instant therefore
+recovers the message dependency chain that produced it — which is what
+:mod:`repro.analysis.critpath` does for every recovery epoch.
+
+Identity is deterministic by construction: a trace id is
+``<site>.<seq>.<t_us>`` — the minting component's stable site name, a
+per-site monotone sequence number, and the integer microsecond of
+simulated mint time.  No RNG, no wall clock, no id that could differ
+between serial, pooled, cached, or ``--engine-workers N`` execution of
+the same trial.
+
+The off switch is the same one spans use: with no :class:`Obs`
+recorder on the engine, :func:`mint` / :func:`derive` / :func:`adopt`
+return after a single attribute read and attach nothing, so the hot
+send path stays inside the dispatch benchmark gate.
+
+Bounding mirrors ``MAX_SPANS``: the node list caps at
+:data:`MAX_CAUSAL_NODES` (overflow counted in ``dropped_nodes``, cut
+deterministically from the tail because nodes record in transmit
+order), and an edge is only recorded when both endpoints exist
+(anything else counts into ``dropped_edges`` — dangling references
+never reach the document).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+#: indices into a node row ``[id, t, host, kind]``
+N_ID, N_T, N_HOST, N_KIND = 0, 1, 2, 3
+#: indices into an edge row ``[src_index, dst_index, type]``
+E_SRC, E_DST, E_TYPE = 0, 1, 2
+
+#: hard cap on recorded causal nodes per trial (mirrors ``MAX_SPANS``)
+MAX_CAUSAL_NODES = 50000
+
+#: the attribute causal context rides on (wire dataclasses are frozen
+#: but define no ``__slots__``, so the stamp never touches a
+#: constructor — see :func:`stamp`)
+_CTX_ATTR = "_causal_ctx"
+
+
+class CausalGraph:
+    """Per-trial recorder of causal nodes and edges."""
+
+    def __init__(self, max_nodes: int = MAX_CAUSAL_NODES):
+        self.max_nodes = max_nodes
+        #: node rows ``[id, t, host, kind]`` in transmit order
+        self.nodes: List[list] = []
+        #: edge rows ``[src_index, dst_index, type]``
+        self.edges: List[list] = []
+        self.dropped_nodes = 0
+        self.dropped_edges = 0
+        #: total contexts minted (recorded or not)
+        self.minted = 0
+        self._index: Dict[str, int] = {}
+        self._site_seq: Dict[str, int] = {}
+        #: per-trace transmit count — a stamped message sent to several
+        #: peers (broadcast) fans out into distinct node pairs
+        self._fanout: Dict[str, int] = {}
+
+    # -- minting -----------------------------------------------------------
+    def mint_id(self, site: str, now: float) -> str:
+        """A fresh trace id: ``<site>.<seq>.<t_us>``."""
+        seq = self._site_seq.get(site, 0) + 1
+        self._site_seq[site] = seq
+        self.minted += 1
+        return f"{site}.{seq}.{int(round(now * 1e6))}"
+
+    # -- recording ---------------------------------------------------------
+    def _add_node(self, node_id: str, t: float, host: str,
+                  kind: str) -> Optional[int]:
+        if len(self.nodes) >= self.max_nodes:
+            self.dropped_nodes += 1
+            return None
+        index = len(self.nodes)
+        self.nodes.append([node_id, t, host, kind])
+        self._index[node_id] = index
+        return index
+
+    def _add_edge(self, src: Optional[int], dst: Optional[int],
+                  edge_type: str) -> None:
+        if src is None or dst is None:
+            self.dropped_edges += 1
+            return
+        self.edges.append([src, dst, edge_type])
+
+    def on_transmit(self, ctx: Tuple[str, Optional[str]], kind: str,
+                    src_host: str, dst_host: str,
+                    t_send: float, t_recv: float, size: int) -> None:
+        """Record one stamped transmission (network choke point).
+
+        A re-transmitted object (broadcast fan-out, log replay) gets a
+        ``#n`` suffix on its trace id so node ids stay unique; the
+        parent link is shared — every copy was caused by the same
+        upstream receive.
+        """
+        trace_id, parent_id = ctx
+        n = self._fanout.get(trace_id, 0)
+        self._fanout[trace_id] = n + 1
+        tid = trace_id if n == 0 else f"{trace_id}#{n}"
+        send = self._add_node(f"{tid}:s", t_send, src_host, kind)
+        recv = self._add_node(f"{tid}:r", t_recv, dst_host, kind)
+        self._add_edge(send, recv, "net")
+        if parent_id is not None:
+            self._add_edge(self._index.get(parent_id), send, "causal")
+
+    # -- document ----------------------------------------------------------
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "nodes": [list(n) for n in self.nodes],
+            "edges": [list(e) for e in self.edges],
+            "dropped_nodes": self.dropped_nodes,
+            "dropped_edges": self.dropped_edges,
+            "minted": self.minted,
+        }
+
+
+# -- stamping helpers (protocol call sites) --------------------------------
+
+def ctx_of(msg: Any) -> Optional[Tuple[str, Optional[str]]]:
+    """The causal context riding on ``msg``, or None."""
+    return getattr(msg, _CTX_ATTR, None)
+
+
+def parent_of(msg: Any) -> Optional[str]:
+    """The receive-node id of an inbound stamped message.
+
+    This is what a handler passes as ``parent`` when the message it is
+    about to send was *caused by* ``msg`` — the new send hangs off the
+    instant ``msg`` arrived.
+    """
+    ctx = getattr(msg, _CTX_ATTR, None)
+    if ctx is None:
+        return None
+    return f"{ctx[0]}:r"
+
+
+def stamp(engine: Any, msg: Any, site: str,
+          parent: Optional[str] = None) -> None:
+    """Mint a fresh context for ``msg`` (no-op when observation is off).
+
+    ``site`` is the minting component's stable name (``disp``,
+    ``sched``, ``r<rank>``, ``cm<i>``, ...); ``parent`` — usually
+    :func:`parent_of` an inbound message — links the new trace to its
+    cause.  Frozen wire dataclasses take the stamp through
+    ``object.__setattr__`` (they define no ``__slots__``).
+    """
+    obs = engine.obs
+    if obs is None:
+        return
+    causal = obs.causal
+    object.__setattr__(msg, _CTX_ATTR,
+                       (causal.mint_id(site, engine.now), parent))
+
+
+def derive(engine: Any, msg: Any, site: str, cause: Any) -> None:
+    """Stamp ``msg`` with a fresh trace parented on inbound ``cause``."""
+    obs = engine.obs
+    if obs is None:
+        return
+    stamp(engine, msg, site, parent=parent_of(cause))
+
+
+def adopt(msg: Any, original: Any) -> None:
+    """Copy ``original``'s context onto ``msg`` verbatim.
+
+    The wrapper case: a daemon enveloping an application message
+    (``DataMsg``/``V2Data``/``CMPut`` around an ``AppMessage``)
+    continues the *same* trace — the envelope's journey is the
+    message's journey.
+    """
+    ctx = getattr(original, _CTX_ATTR, None)
+    if ctx is not None:
+        object.__setattr__(msg, _CTX_ATTR, ctx)
+
+
+def causal_kind_rollup(obs_doc: Optional[Dict[str, Any]]
+                       ) -> Dict[str, Dict[str, float]]:
+    """Per-message-kind rollup of an obs document's causal net edges.
+
+    ``{kind: {count, seconds}}`` where ``seconds`` sums the in-flight
+    time (receive minus send) of every recorded transmission of that
+    kind.  Tolerates ``None`` and pre-causal documents.
+    """
+    rollup: Dict[str, Dict[str, float]] = {}
+    if not obs_doc:
+        return rollup
+    causal = obs_doc.get("causal") or {}
+    nodes = causal.get("nodes", [])
+    for edge in causal.get("edges", ()):
+        if edge[E_TYPE] != "net":
+            continue
+        src, dst = nodes[edge[E_SRC]], nodes[edge[E_DST]]
+        entry = rollup.setdefault(src[N_KIND], {"count": 0, "seconds": 0.0})
+        entry["count"] += 1
+        entry["seconds"] += dst[N_T] - src[N_T]
+    for entry in rollup.values():
+        entry["seconds"] = round(entry["seconds"], 9)
+    return rollup

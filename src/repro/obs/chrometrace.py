@@ -86,6 +86,29 @@ def chrome_trace_doc(obs_doc: Dict[str, Any],
             "dur": _us((t1 if t1 is not None else t0) - t0),
             "args": row[FIELDS] or {},
         })
+    # flow events: one s/f pair per critical-path segment, drawn on the
+    # epoch's relaunch lane so Perfetto threads the recovery anatomy
+    # through the span view (function-level import: repro.analysis
+    # imports the obs document layer, not the other way round)
+    from repro.analysis.critpath import critical_paths
+    flow_id = 0
+    for crow in critical_paths(obs_doc):
+        lane = crow["lane"]
+        if lane not in lane_tid:
+            continue
+        pid = lane_pid.get(lane, default_pid)
+        tid = lane_tid[lane]
+        for seg in crow["segments"]:
+            flow_id += 1
+            name = f"crit:{seg['phase']}"
+            events.append({"ph": "s", "id": flow_id, "name": name,
+                           "cat": "critpath", "pid": pid, "tid": tid,
+                           "ts": _us(seg["t0"]),
+                           "args": {"epoch": crow["epoch"]}})
+            events.append({"ph": "f", "bp": "e", "id": flow_id,
+                           "name": name, "cat": "critpath", "pid": pid,
+                           "tid": tid, "ts": _us(seg["t1"]),
+                           "args": {"epoch": crow["epoch"]}})
     metrics = (obs_doc or {}).get("metrics") or {}
     return {
         "traceEvents": events,

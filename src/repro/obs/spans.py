@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from repro.obs.causal import CausalGraph
 from repro.obs.metrics import MetricsRegistry
 
 #: indices into a span row ``[t0, t1, kind, lane, fields]``
@@ -118,6 +119,9 @@ class Obs:
         self.metrics = MetricsRegistry()
         #: execution metadata (never read by deterministic exporters)
         self.exec_metrics = MetricsRegistry()
+        #: causal message graph (see :mod:`repro.obs.causal`), fed by
+        #: the network transmit choke point
+        self.causal = CausalGraph()
         self._finalized = False
 
     # -- span lifecycle ----------------------------------------------------
@@ -214,12 +218,13 @@ class Obs:
     def to_doc(self) -> Dict[str, Any]:
         """The compact ``obs`` wire document (see RunResult.obs)."""
         return {
-            "version": 1,
+            "version": 2,
             "spans": [s.to_row() for s in self.spans],
             "dropped_spans": self.dropped_spans,
             "truncated_spans": self.truncated_spans,
             "metrics": self.metrics.to_doc(),
             "exec": self.exec_metrics.to_doc(),
+            "causal": self.causal.to_doc(),
         }
 
 

@@ -1,0 +1,213 @@
+"""Unit tests of causal message tracing: graph recording + caps,
+stamping helpers, the critical-path walk on synthetic documents, the
+trace-diff renderer, and the campaign rollup exposition formats."""
+
+import json
+
+from repro.analysis.classify import classify_run
+from repro.analysis.critpath import (critical_paths, critpath_rollup,
+                                     render_critical_paths)
+from repro.analysis.tracediff import trace_diff_text
+from repro.analysis.traces import Trace
+from repro.obs.causal import (MAX_CAUSAL_NODES, CausalGraph, adopt,
+                              causal_kind_rollup, ctx_of, derive, parent_of,
+                              stamp)
+from repro.obs.report import aggregate_obs, html_report, openmetrics_text
+from repro.simkernel.engine import Engine
+
+
+class Msg:
+    """A stand-in for a wire message (plain object, stampable)."""
+
+
+# ---------------------------------------------------------------------------
+# graph recording
+# ---------------------------------------------------------------------------
+
+def test_mint_ids_are_per_site_and_deterministic():
+    g = CausalGraph()
+    assert g.mint_id("r0", 1.5) == "r0.1.1500000"
+    assert g.mint_id("r0", 1.5) == "r0.2.1500000"
+    assert g.mint_id("disp", 1.5) == "disp.1.1500000"
+    assert g.minted == 3
+
+
+def test_transmit_records_nodes_and_edges():
+    g = CausalGraph()
+    tid = g.mint_id("r0", 1.0)
+    g.on_transmit((tid, None), "AppMessage", "m1", "m2", 1.0, 1.25, 1024)
+    # a derived message parented on the first one's receive
+    tid2 = g.mint_id("r1", 1.25)
+    g.on_transmit((tid2, f"{tid}:r"), "EvLog", "m2", "svc1", 1.25, 1.5, 64)
+    assert [n[0] for n in g.nodes] == \
+        [f"{tid}:s", f"{tid}:r", f"{tid2}:s", f"{tid2}:r"]
+    assert [e[2] for e in g.edges] == ["net", "net", "causal"]
+    causal_edge = g.edges[2]
+    assert g.nodes[causal_edge[0]][0] == f"{tid}:r"
+    assert g.nodes[causal_edge[1]][0] == f"{tid2}:s"
+
+
+def test_broadcast_fanout_gets_unique_node_ids():
+    g = CausalGraph()
+    tid = g.mint_id("disp", 2.0)
+    for i in range(3):
+        g.on_transmit((tid, None), "CommandMap", "svc0", f"m{i}",
+                      2.0, 2.1, 256)
+    ids = [n[0] for n in g.nodes]
+    assert len(ids) == len(set(ids)) == 6
+    assert f"{tid}:s" in ids and f"{tid}#1:s" in ids and f"{tid}#2:s" in ids
+
+
+def test_node_cap_and_drop_accounting():
+    g = CausalGraph(max_nodes=3)
+    t1 = g.mint_id("r0", 1.0)
+    g.on_transmit((t1, None), "A", "m1", "m2", 1.0, 1.1, 1)
+    t2 = g.mint_id("r0", 2.0)
+    g.on_transmit((t2, f"{t1}:r"), "B", "m2", "m3", 2.0, 2.1, 1)
+    # t2's send fit (index 2) but its recv hit the cap: the net edge is
+    # dropped rather than dangling; the causal edge (both ends live)
+    # survives
+    assert len(g.nodes) == 3
+    assert g.dropped_nodes == 1
+    assert g.dropped_edges == 1
+    assert all(e[0] < 3 and e[1] < 3 for e in g.edges)
+    doc = g.to_doc()
+    assert doc["dropped_nodes"] == 1 and doc["dropped_edges"] == 1
+    assert doc["minted"] == 2
+    assert MAX_CAUSAL_NODES == 50000
+
+
+# ---------------------------------------------------------------------------
+# stamping helpers
+# ---------------------------------------------------------------------------
+
+def test_stamp_is_inert_without_a_recorder():
+    eng = Engine(seed=0)
+    assert eng.obs is None
+    msg = Msg()
+    stamp(eng, msg, "r0")
+    assert ctx_of(msg) is None and parent_of(msg) is None
+
+
+def test_stamp_derive_adopt_with_recorder():
+    from repro.obs import Obs
+    eng = Engine(seed=0)
+    eng.obs = Obs(eng)
+    root = Msg()
+    stamp(eng, root, "r0")
+    tid, parent = ctx_of(root)
+    assert tid.startswith("r0.1.") and parent is None
+    assert parent_of(root) == f"{tid}:r"
+    child = Msg()
+    derive(eng, child, "evlog", root)
+    ctid, cparent = ctx_of(child)
+    assert ctid.startswith("evlog.1.") and cparent == f"{tid}:r"
+    envelope = Msg()
+    adopt(envelope, root)
+    assert ctx_of(envelope) == ctx_of(root)     # same trace, verbatim
+    unstamped = Msg()
+    adopt(Msg(), unstamped)                     # no ctx: no-op, no error
+
+
+def test_causal_kind_rollup():
+    doc = {"causal": {
+        "nodes": [["a:s", 1.0, "m1", "DataMsg"], ["a:r", 1.5, "m2", "DataMsg"],
+                  ["b:s", 2.0, "m2", "EvLog"], ["b:r", 2.25, "svc1", "EvLog"]],
+        "edges": [[0, 1, "net"], [2, 3, "net"], [1, 2, "causal"]],
+    }}
+    roll = causal_kind_rollup(doc)
+    assert roll == {"DataMsg": {"count": 1, "seconds": 0.5},
+                    "EvLog": {"count": 1, "seconds": 0.25}}
+    assert causal_kind_rollup(None) == {}
+    assert causal_kind_rollup({"version": 1, "spans": []}) == {}
+
+
+# ---------------------------------------------------------------------------
+# critical paths on synthetic documents
+# ---------------------------------------------------------------------------
+
+def _recovery_doc():
+    return {"spans": [
+        [10.0, 10.5, "detect", "m1", {"node": "m1"}],
+        [10.5, 12.0, "relaunch", "svc0", {"epoch": 1, "mode": "full"}],
+        [12.0, 13.0, "restore", "m1", {"rank": 0, "epoch": 1}],
+        [13.0, 13.4, "replay", "m1", {"rank": 0}],
+    ], "causal": {
+        "nodes": [["f.1.0:s", 11.0, "svc0", "FetchReq"],
+                  ["f.1.0:r", 11.2, "svc2", "FetchReq"],
+                  ["g.1.0:s", 11.2, "svc2", "FetchResp"],
+                  ["g.1.0:r", 12.9, "m1", "FetchResp"]],
+        "edges": [[0, 1, "net"], [2, 3, "net"], [1, 2, "causal"]],
+    }}
+
+
+def test_critical_path_segments_tile_exactly():
+    rows = critical_paths(_recovery_doc())
+    assert len(rows) == 1
+    row = rows[0]
+    assert [s["phase"] for s in row["segments"]] == \
+        ["detect", "relaunch", "restore", "replay"]
+    # the acceptance identity: exact, not approximate
+    assert sum(s["dur"] for s in row["segments"]) == row["recovery"]
+    assert row["attribution"]["restore_transfer"]["count"] == 2
+    # backward walk: latest receive in the window chains to the fetch
+    assert row["chain"] == ["f.1.0:s", "f.1.0:r", "g.1.0:s", "g.1.0:r"]
+    roll = critpath_rollup(_recovery_doc())
+    assert roll["recovery"] == round(row["recovery"], 9)
+    assert "recovery" in render_critical_paths(_recovery_doc())
+
+
+def test_zero_recovery_is_safe_everywhere():
+    empty = {"version": 2, "spans": [], "dropped_spans": 0,
+             "truncated_spans": 0,
+             "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+             "causal": {"nodes": [], "edges": [], "dropped_nodes": 0,
+                        "dropped_edges": 0, "minted": 0},
+             "exec": {}}
+    assert critical_paths(empty) == []
+    assert critpath_rollup(empty) == {}
+    assert "no recovery" in render_critical_paths(empty)
+    # classify: observed fault-free -> empty rollup, not None, no crash
+    trace = Trace()
+    trace.record(100.0, "app_done")
+    verdict = classify_run(trace, timeout=1500.0, obs=empty)
+    assert verdict.critpath_segments == {}
+    assert classify_run(trace, timeout=1500.0, obs=None) \
+        .critpath_segments is None
+    # trace-diff: empty vs empty and empty vs faulted both render
+    text = trace_diff_text(empty, empty)
+    assert "no recoveries on either side" in text
+    text = trace_diff_text(empty, _recovery_doc())
+    assert "0 vs 1 epochs" in text
+    assert trace_diff_text(None, None)          # observation off: fine
+
+
+def test_trace_diff_is_deterministic():
+    a, b = _recovery_doc(), _recovery_doc()
+    b["spans"][1] = [10.5, 14.0, "relaunch", "svc0",
+                     {"epoch": 1, "mode": "full"}]
+    one = trace_diff_text(a, b, label_a="x", label_b="y")
+    two = trace_diff_text(a, b, label_a="x", label_b="y")
+    assert one == two
+    assert "+2.000" in one                       # relaunch grew by 2 s
+
+
+# ---------------------------------------------------------------------------
+# campaign rollup
+# ---------------------------------------------------------------------------
+
+def test_openmetrics_and_html_report():
+    docs = [_recovery_doc(), _recovery_doc(), None]
+    agg = aggregate_obs(docs)
+    assert agg["trials"] == 2 and agg["epochs"] == 2
+    text = openmetrics_text(agg)
+    assert text.endswith("# EOF\n")
+    assert 'repro_critpath_seconds_total{phase="relaunch"} 3' in text
+    assert 'repro_wire_count_total{kind="FetchReq"} 2' in text
+    # byte-determinism of both renderings
+    assert text == openmetrics_text(aggregate_obs(docs))
+    page = html_report(agg, title="t<e>st")
+    assert page == html_report(aggregate_obs(docs), title="t<e>st")
+    assert "t&lt;e&gt;st" in page
+    assert json.dumps(agg, sort_keys=True) \
+        == json.dumps(aggregate_obs(docs), sort_keys=True)

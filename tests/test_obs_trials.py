@@ -15,8 +15,10 @@ from repro.explore import generators
 from repro.explore.generators import (Heal, TimedKill, TimedPartition,
                                       render_plan)
 from repro.mpichv import protocols
+from repro.analysis.critpath import critical_paths, critpath_rollup
 from repro.obs import (FIELDS, KIND, LANE, T0, T1, chrome_trace_json,
                        epoch_phase_table, span_rollups)
+from repro.obs.causal import E_DST, E_SRC, E_TYPE, N_ID, N_KIND, N_T
 
 CAL = dict(workload="ring", niters=40, total_compute=1280.0, footprint=1e8)
 
@@ -52,7 +54,7 @@ def observed():
 def test_span_nesting_well_formed(observed, protocol):
     result = observed[protocol]
     obs = result.obs
-    assert obs is not None and obs["version"] == 1
+    assert obs is not None and obs["version"] == 2
     spans = obs["spans"]
     assert spans and obs["dropped_spans"] == 0
     for row in spans:
@@ -133,6 +135,80 @@ def test_verdict_carries_span_derived_fields(observed, protocol):
 
 
 # ---------------------------------------------------------------------------
+# causal graph + critical paths on real trials
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_causal_graph_well_formed(observed, protocol):
+    causal = observed[protocol].obs["causal"]
+    nodes, edges = causal["nodes"], causal["edges"]
+    assert nodes and edges
+    assert causal["dropped_nodes"] == 0 and causal["dropped_edges"] == 0
+    # every recorded transmission contributed a send/recv pair (fanout
+    # and adopted envelopes mean one minted id can back many pairs)
+    assert causal["minted"] >= 1 and len(nodes) % 2 == 0
+    ids = [n[N_ID] for n in nodes]
+    assert len(ids) == len(set(ids)), "node ids must be unique"
+    sim_time = observed[protocol].sim_time
+    for n in nodes:
+        assert 0.0 <= n[N_T] <= sim_time + 1e-9
+        assert isinstance(n[N_KIND], str) and n[N_KIND]
+    for e in edges:
+        assert 0 <= e[E_SRC] < len(nodes) and 0 <= e[E_DST] < len(nodes)
+        assert e[E_TYPE] in ("net", "causal")
+        assert nodes[e[E_SRC]][N_T] <= nodes[e[E_DST]][N_T] + 1e-9
+    # every net edge joins the two halves of one transmission
+    for e in (e for e in edges if e[E_TYPE] == "net"):
+        src, dst = nodes[e[E_SRC]], nodes[e[E_DST]]
+        assert src[N_ID].endswith(":s") and dst[N_ID].endswith(":r")
+        assert src[N_ID][:-2] == dst[N_ID][:-2]
+        assert src[N_KIND] == dst[N_KIND]
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_critical_path_segments_tile_recovery_exactly(observed, protocol):
+    """The acceptance identity, on real trials: for every recovery
+    epoch the per-phase segments sum to the recovery span duration —
+    exactly, not approximately."""
+    result = observed[protocol]
+    rows = critical_paths(result.obs)
+    assert rows, "a killed trial must produce critical-path rows"
+    for row in (r for r in rows if not r["truncated"]):
+        assert sum(s["dur"] for s in row["segments"]) == row["recovery"]
+        assert [s["phase"] for s in row["segments"]] == \
+            ["detect", "relaunch", "restore", "replay"]
+        # segments abut: each starts where the previous ended
+        for prev, nxt in zip(row["segments"], row["segments"][1:]):
+            assert prev["t1"] == nxt["t0"]
+        assert row["segments"][0]["t0"] == row["t_fault"]
+        # attribution covers traced wire traffic inside the window
+        assert row["attribution"], "recovery without any wire traffic"
+    # the verdict carries the rollup of exactly these rows
+    assert result.verdict.critpath_segments == critpath_rollup(result.obs)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_chrome_trace_flow_events_pair_up(observed, protocol):
+    doc = json.loads(chrome_trace_json(observed[protocol].obs))
+    starts = [e for e in doc["traceEvents"] if e.get("ph") == "s"]
+    ends = [e for e in doc["traceEvents"] if e.get("ph") == "f"]
+    assert starts, "an observed faulted trial must emit flow events"
+    assert len(starts) == len(ends)
+    by_id = {e["id"]: e for e in starts}
+    assert len(by_id) == len(starts), "flow ids must be unique"
+    lanes = {(e["pid"], e["tid"])
+             for e in doc["traceEvents"]
+             if e.get("ph") == "M" and e.get("name") == "thread_name"}
+    for end in ends:
+        start = by_id[end["id"]]
+        assert (start["name"], start["cat"]) == (end["name"], end["cat"])
+        assert end["cat"] == "critpath"
+        assert start["ts"] <= end["ts"]
+        assert end.get("bp") == "e"
+        assert (start["pid"], start["tid"]) in lanes
+
+
+# ---------------------------------------------------------------------------
 # observation is inert: same simulation, same verdict
 # ---------------------------------------------------------------------------
 
@@ -207,5 +283,8 @@ def test_resultstore_roundtrip_preserves_obs(observed):
     assert run_result_to_dict(back) == json.loads(blob) \
         or run_result_to_dict(back) == doc
     assert back.obs == result.obs
+    assert back.obs["causal"] == result.obs["causal"]
     assert back.verdict.detect_latency == result.verdict.detect_latency
     assert back.verdict.replay_seconds == result.verdict.replay_seconds
+    assert back.verdict.critpath_segments == result.verdict.critpath_segments
+    assert back.verdict.critpath_segments is not None

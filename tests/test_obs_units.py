@@ -153,7 +153,7 @@ def test_span_rollups():
 
 def _sample_doc():
     return {
-        "version": 1,
+        "version": 2,
         "spans": [
             [1.0, 2.0, "transfer", "m10", {"bytes": 7}],
             [0.5, 3.0, "relaunch", "m2", {}],
